@@ -1,0 +1,49 @@
+"""Ablation: stealth reset probability vs collision risk and re-encryption cost.
+
+A higher reset probability makes full-version collisions less likely but
+forces more whole-page re-encryptions (each reset re-encrypts 64 blocks).
+The paper picks p = 2^-20 so that resets are amortised across ~a million
+writes while the collision bound stays below 1e-18.
+"""
+
+import math
+
+from repro.core.versions import StealthVersionPolicy
+from repro.security.analysis import stealth_exhaustion_probability
+
+RESET_PROBABILITIES = (2.0 ** -16, 2.0 ** -20, 2.0 ** -24)
+
+
+def test_ablation_reset_probability_tradeoff(benchmark):
+    def sweep():
+        rows = {}
+        for probability in RESET_PROBABILITIES:
+            policy = StealthVersionPolicy(reset_probability=probability)
+            rows[probability] = {
+                "collision_probability": stealth_exhaustion_probability(
+                    reset_probability=probability
+                ),
+                "writes_between_reencryptions": policy.expected_updates_between_resets(),
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    ordered = sorted(rows)  # ascending probability
+    for lower, higher in zip(ordered, ordered[1:]):
+        # More frequent resets -> lower collision risk but more re-encryption.
+        assert (
+            rows[higher]["collision_probability"] <= rows[lower]["collision_probability"]
+        )
+        assert (
+            rows[higher]["writes_between_reencryptions"]
+            < rows[lower]["writes_between_reencryptions"]
+        )
+
+    paper = rows[2.0 ** -20]
+    assert paper["collision_probability"] < 1e-18
+    assert paper["writes_between_reencryptions"] == 2 ** 20
+
+    benchmark.extra_info["collision_probability"] = {
+        f"2^{int(math.log2(p))}": row["collision_probability"] for p, row in rows.items()
+    }

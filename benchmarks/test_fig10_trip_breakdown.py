@@ -1,0 +1,30 @@
+"""Figure 10: pages classified by their Trip format."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_trip_format_breakdown(benchmark, space_study):
+    rows = benchmark.pedantic(fig10.compute, args=(space_study,), rounds=1, iterations=1)
+    by_bench = {row["bench"]: row for row in rows}
+
+    # Fractions are well formed.
+    for row in rows:
+        assert abs(row["flat"] + row["uneven"] + row["full"] - 1.0) < 0.01
+
+    # Version-local kernels stay flat; fmi is the uneven outlier; graph
+    # kernels sit in between -- the shape of the paper's Figure 10.
+    assert by_bench["bsw"]["flat"] > 0.95
+    assert by_bench["llama2-gen"]["flat"] > 0.95
+    assert by_bench["memcached"]["flat"] > 0.9
+    assert by_bench["fmi"]["uneven"] > by_bench["bsw"]["uneven"]
+    assert by_bench["fmi"]["uneven"] > 0.1
+    assert by_bench["pr"]["uneven"] > by_bench["llama2-gen"]["uneven"]
+
+    averages = fig10.averages(rows)
+    assert averages["flat"] > 0.6
+    assert averages["full"] < 0.05
+
+    benchmark.extra_info["flat_fraction"] = {
+        row["bench"]: round(row["flat"], 3) for row in rows
+    }
+    benchmark.extra_info["average"] = {k: round(v, 4) for k, v in averages.items()}

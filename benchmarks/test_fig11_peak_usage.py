@@ -1,0 +1,29 @@
+"""Figure 11: peak Toleo usage per TB of protected data."""
+
+from repro.experiments import fig11
+
+
+def test_fig11_peak_toleo_usage(benchmark, space_study):
+    rows = benchmark.pedantic(fig11.compute, args=(space_study,), rounds=1, iterations=1)
+    by_bench = {row["bench"]: row for row in rows}
+
+    # Every workload needs at least the static flat array (3 GB/TB) and the
+    # low-version-locality kernels need the most.
+    for row in rows:
+        assert row["gb_per_tb_protected"] >= 2.9
+    assert (
+        by_bench["fmi"]["gb_per_tb_protected"] > by_bench["bsw"]["gb_per_tb_protected"]
+    )
+
+    average = fig11.average_gb_per_tb(rows)
+    protectable = fig11.protectable_tb(rows)
+    # The paper's average is 4.27 GB/TB -> a 168 GB device protects ~37 TB,
+    # comfortably more than the 28 TB rack.
+    assert 2.9 <= average <= 10.0
+    assert protectable > 28.0
+
+    benchmark.extra_info["gb_per_tb"] = {
+        row["bench"]: row["gb_per_tb_protected"] for row in rows
+    }
+    benchmark.extra_info["average_gb_per_tb"] = round(average, 2)
+    benchmark.extra_info["protectable_tb_per_168gb_device"] = round(protectable, 1)

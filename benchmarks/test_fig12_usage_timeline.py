@@ -1,0 +1,27 @@
+"""Figure 12: Toleo usage over time, broken down by Trip format."""
+
+from repro.experiments import fig12
+
+
+def test_fig12_usage_timeline(benchmark, space_study):
+    timelines = benchmark.pedantic(fig12.compute, args=(space_study,), rounds=1, iterations=1)
+
+    for bench, timeline in timelines.items():
+        assert len(timeline) > 5
+        # Flat usage grows monotonically with the touched footprint.
+        assert fig12.monotonic_flat_growth(timeline)
+        # Usage ends at (or above) where it started.
+        assert sum(timeline[-1].values()) >= sum(timeline[0].values())
+
+    rows = fig12.final_breakdown(timelines)
+    by_bench = {row["bench"]: row for row in rows}
+    # Dynamic (uneven/full) usage appears for the low-locality kernels only.
+    assert by_bench["fmi"]["final_uneven_kb"] > by_bench["bsw"]["final_uneven_kb"]
+    assert by_bench["bsw"]["final_flat_kb"] > 0
+
+    benchmark.extra_info["final_flat_kb"] = {
+        row["bench"]: row["final_flat_kb"] for row in rows
+    }
+    benchmark.extra_info["final_uneven_kb"] = {
+        row["bench"]: row["final_uneven_kb"] for row in rows
+    }

@@ -1,0 +1,47 @@
+"""Figure 6: execution-time overhead of CI, Toleo and InvisiMem vs NoProtect.
+
+Shape assertions: Toleo's freshness increment over CI is small on average
+(memcached is the outlier), and InvisiMem is the most expensive configuration.
+"""
+
+from repro.experiments import fig6
+from repro.experiments.report import arithmetic_mean
+from repro.sim.configs import ProtectionMode
+
+
+def test_fig6_execution_overhead(benchmark, perf_suite):
+    rows = benchmark.pedantic(fig6.compute, args=(perf_suite,), rounds=1, iterations=1)
+    by_bench = {row["bench"]: row for row in rows}
+
+    # InvisiMem is always at least as expensive as CI.
+    for row in rows:
+        assert row[ProtectionMode.INVISIMEM.value] >= row[ProtectionMode.CI.value]
+
+    # Freshness increment: small for the version-local kernels, larger for
+    # the page-random key-value store (the paper's memcached outlier).
+    increments = fig6.toleo_increment_over_ci(rows)
+    assert increments["bsw"] < 0.05
+    assert increments["llama2-gen"] < 0.10
+    assert increments["memcached"] > increments["bsw"]
+
+    averages = fig6.averages(rows)
+    assert averages[ProtectionMode.INVISIMEM.value] > averages[ProtectionMode.CI.value]
+
+    benchmark.extra_info["avg_overhead_pct"] = {
+        mode: round(value * 100, 2) for mode, value in averages.items()
+    }
+    benchmark.extra_info["toleo_increment_pct"] = {
+        bench: round(value * 100, 2) for bench, value in increments.items()
+    }
+
+
+def test_fig6_bandwidth_bound_workloads_pay_more(benchmark, perf_suite):
+    def ci_overheads():
+        return {row["bench"]: row[ProtectionMode.CI.value] for row in fig6.compute(perf_suite)}
+
+    overheads = benchmark.pedantic(ci_overheads, rounds=1, iterations=1)
+    # pr (MPKI ~134) pays far more for CI's MAC traffic than bsw (MPKI ~1.2).
+    assert overheads["pr"] > overheads["bsw"]
+    benchmark.extra_info["ci_overhead_pct"] = {
+        k: round(v * 100, 2) for k, v in overheads.items()
+    }

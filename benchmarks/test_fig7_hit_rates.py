@@ -1,0 +1,23 @@
+"""Figure 7: stealth-version cache and MAC cache hit rates."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_metadata_cache_hit_rates(benchmark, perf_suite):
+    rows = benchmark.pedantic(fig7.compute, args=(perf_suite,), rounds=1, iterations=1)
+    by_bench = {row["bench"]: row for row in rows}
+
+    # High-version-locality kernels keep the stealth cache hot...
+    assert by_bench["bsw"]["stealth_hit_rate"] > 0.9
+    assert by_bench["llama2-gen"]["stealth_hit_rate"] > 0.9
+    # ...while the page-random key-value store is the paper's outlier.
+    assert by_bench["memcached"]["stealth_hit_rate"] < by_bench["bsw"]["stealth_hit_rate"]
+
+    averages = fig7.averages(rows)
+    assert averages["stealth_hit_rate"] > 0.5
+    benchmark.extra_info["stealth_hit_rate"] = {
+        row["bench"]: round(row["stealth_hit_rate"], 3) for row in rows
+    }
+    benchmark.extra_info["mac_hit_rate"] = {
+        row["bench"]: round(row["mac_hit_rate"], 3) for row in rows
+    }

@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the core components.
+
+These measure the Python model's own throughput (they are not paper numbers):
+Trip updates, Toleo device requests, block encryption + MAC, and Merkle-tree
+verification, so regressions in the hot paths show up in the benchmark
+history.
+"""
+
+from repro.baselines.merkle import MerkleTree
+from repro.core.protection import MemoryProtectionEngine, ProtectionLevel
+from repro.core.toleo import ToleoDevice
+from repro.core.trip import TripPageTable
+from repro.core.versions import StealthVersionPolicy
+from repro.crypto.cipher import XtsCipher
+from repro.crypto.mac import MacEngine
+from repro.crypto.rng import DRangeRng
+
+
+def test_microbench_trip_update(benchmark):
+    table = TripPageTable(policy=StealthVersionPolicy(rng=DRangeRng(seed=0)))
+
+    counter = iter(range(10**9))
+
+    def update_one_page_pass():
+        base = next(counter) % 1024
+        for block in range(64):
+            table.update(base, block)
+
+    benchmark(update_one_page_pass)
+    assert len(table) > 0
+
+
+def test_microbench_toleo_device_requests(benchmark):
+    device = ToleoDevice(rng=DRangeRng(seed=0))
+    counter = iter(range(10**9))
+
+    def one_read_one_update():
+        i = next(counter)
+        device.read(i % 512, i % 64)
+        device.update(i % 512, i % 64)
+
+    benchmark(one_read_one_update)
+    assert device.stats.updates > 0
+
+
+def test_microbench_encrypt_mac_block(benchmark):
+    cipher = XtsCipher(b"bench-key")
+    mac = MacEngine(b"bench-key")
+    plaintext = bytes(range(64))
+    counter = iter(range(10**9))
+
+    def protect_block():
+        version = next(counter)
+        ct = cipher.encrypt(plaintext, 0x1000, version)
+        return mac.compute(version, 0x1000, ct.data)
+
+    tag = benchmark(protect_block)
+    assert tag.value >= 0
+
+
+def test_microbench_protection_engine_write_read(benchmark):
+    engine = MemoryProtectionEngine(level=ProtectionLevel.CIF)
+    data = bytes(64)
+    counter = iter(range(10**9))
+
+    def write_then_read():
+        address = 0x100000 + (next(counter) % 4096) * 64
+        engine.write_block(address, data)
+        return engine.read_block(address)
+
+    result = benchmark(write_then_read)
+    assert result == data
+
+
+def test_microbench_merkle_verify(benchmark):
+    tree = MerkleTree(num_blocks=1 << 16, arity=8, node_cache_kib=32)
+    for block in range(0, 1 << 16, 257):
+        tree.update(block)
+    counter = iter(range(10**9))
+
+    def verify_one():
+        return tree.verify((next(counter) * 257) % (1 << 16))
+
+    benchmark(verify_one)
+    assert tree.stats.verifies > 0

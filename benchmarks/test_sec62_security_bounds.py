@@ -1,0 +1,36 @@
+"""Section 6.2: analytical security bounds and the Monte-Carlo cross-check."""
+
+import pytest
+
+from repro.experiments import security62
+from repro.security.analysis import SecurityAnalysis
+
+
+def test_sec62_analytical_bounds(benchmark):
+    summary = benchmark.pedantic(
+        lambda: SecurityAnalysis().summary(), rounds=3, iterations=1
+    )
+    # Paper values: replay success 2^-27 and a lifetime collision probability
+    # of ~1.7e-19 (= 2^30 intervals x e^-64 per-interval no-reset probability).
+    assert summary["replay_success_probability"] == pytest.approx(2.0 ** -27)
+    assert summary["per_interval_no_reset_probability"] == pytest.approx(1.6e-28, rel=0.2, abs=0.0)
+    assert summary["full_version_collision_probability"] == pytest.approx(1.7e-19, rel=0.3, abs=0.0)
+    benchmark.extra_info["collision_probability"] = summary[
+        "full_version_collision_probability"
+    ]
+
+
+def test_sec62_monte_carlo_cross_check(benchmark):
+    result = benchmark.pedantic(
+        security62.reduced_parameter_check,
+        kwargs=dict(trials=300, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    # At reduced parameters the empirical exhaustion rate should be in the
+    # same ballpark as the analytical bound (both are small but nonzero).
+    assert 0.0 <= result["empirical"] <= 1.0
+    assert result["analytical"] > 0.0
+    benchmark.extra_info.update(
+        {k: round(v, 5) for k, v in result.items()}
+    )

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Why not a Merkle tree?  Scaling comparison of freshness mechanisms.
+
+The paper's introduction argues that Merkle-tree freshness cannot scale to
+tera-scale memory: the tree walk adds up to 13 extra memory accesses per miss
+at 28 TB and its node cache hit rate collapses as the tree grows.  This
+example quantifies that argument with the counter-tree baselines (Client SGX,
+VAULT, Morphable Counters) and contrasts it with Toleo's flat stealth-version
+lookup, then demonstrates that both mechanisms detect replay -- the
+difference is cost, not security.
+
+Run with:  python examples/merkle_vs_toleo.py
+"""
+
+from repro.baselines.counter_trees import (
+    client_sgx_tree,
+    morphable_tree,
+    scaling_table,
+    vault_tree,
+)
+from repro.baselines.merkle import MerkleTree, MerkleVerificationError
+from repro.core.config import GIB, MIB, TIB
+from repro.core.protection import KillSwitchError, MemoryProtectionEngine, ProtectionLevel
+from repro.experiments.report import format_table
+from repro.security.adversary import ReplayAttacker
+
+
+def scaling_comparison() -> None:
+    sizes = [128 * MIB, 64 * GIB, 1 * TIB, 28 * TIB]
+    labels = {128 * MIB: "128 MB", 64 * GIB: "64 GB", 1 * TIB: "1 TB", 28 * TIB: "28 TB"}
+    table = scaling_table(sizes)
+    rows = []
+    for name, per_size in table.items():
+        row = {"scheme": name}
+        row.update({labels[size]: f"{accesses} accesses" for size, accesses in per_size.items()})
+        rows.append(row)
+    rows.append(
+        {"scheme": "Toleo", **{labels[s]: "1 access (to Toleo)" for s in sizes}}
+    )
+    print(format_table(rows, title="Extra memory accesses per protected LLC miss"))
+
+    meta_rows = []
+    for model in (client_sgx_tree(), vault_tree(), morphable_tree()):
+        meta_rows.append(
+            {
+                "scheme": model.name,
+                "metadata per TB": f"{model.metadata_bytes(1 * TIB) / GIB:.1f} GB",
+            }
+        )
+    meta_rows.append({"scheme": "Toleo (flat pages)", "metadata per TB": "3.0 GB"})
+    print(format_table(meta_rows, title="Freshness metadata footprint per TB protected"))
+
+
+def replay_detection_comparison() -> None:
+    print("Replay detection -- both mechanisms catch it:\n")
+
+    # Merkle tree baseline.
+    tree = MerkleTree(num_blocks=512, arity=8)
+    tree.update(17)
+    stale = tree.snapshot_leaf(17)
+    tree.update(17)
+    tree.rollback_subtree(17, *stale)
+    try:
+        tree.verify(17)
+        print("  Merkle tree: replay NOT detected (unexpected)")
+    except MerkleVerificationError as exc:
+        print(f"  Merkle tree: replay detected ({exc})")
+
+    # Toleo.
+    engine = MemoryProtectionEngine(level=ProtectionLevel.CIF)
+    addr = 0x5000_0000
+    engine.write_block(addr, b"v1".ljust(64, b"\0"))
+    attacker = ReplayAttacker(engine)
+    attacker.snapshot(addr)
+    engine.write_block(addr, b"v2".ljust(64, b"\0"))
+    result = attacker.replay(addr)
+    print(f"  Toleo:       replay detected ({result.detail})")
+    print()
+    print(
+        "The difference is the cost of getting there: the Merkle tree walks\n"
+        "the path to the root on every miss, while Toleo answers from one\n"
+        "trusted stealth-version lookup that usually hits in the extended TLB."
+    )
+
+
+def main() -> None:
+    scaling_comparison()
+    replay_detection_comparison()
+
+
+if __name__ == "__main__":
+    main()

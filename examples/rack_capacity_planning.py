@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Rack-scale capacity planning: how much memory can one Toleo protect?
+
+The headline claim of the paper is that a single 168 GB Toleo device can
+provide freshness for a 28 TB rack because Trip compression brings the
+version-metadata footprint down to a few GB per TB of protected data.  This
+example replays a mix of workloads (the paper's "co-location" argument in
+Section 7.2) through the Trip page table, reports the per-workload Toleo
+usage, and derives how many terabytes a 168 GB device could protect for that
+mix -- the Figure 10 / Figure 11 view plus a what-if planner.
+
+Run with:  python examples/rack_capacity_planning.py [--accesses N]
+"""
+
+import argparse
+
+from repro.core.config import GIB
+from repro.experiments import fig10, fig11
+from repro.experiments.harness import run_space_study
+from repro.experiments.report import format_percentage, format_table
+
+RACK_MIX = ("bsw", "llama2-gen", "pr", "memcached", "fmi", "hyrise")
+TOLEO_CAPACITY_GB = 168.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=60_000,
+                        help="write-trace length per workload (default: 60000)")
+    parser.add_argument("--scale", type=float, default=0.001,
+                        help="footprint scale vs the paper's RSS (default: 0.001)")
+    args = parser.parse_args()
+
+    study = run_space_study(RACK_MIX, scale=args.scale, num_accesses=args.accesses)
+
+    # Trip-format mix (Figure 10).
+    trip_rows = fig10.compute(study)
+    display = [
+        {
+            "workload": row["bench"],
+            "flat": format_percentage(float(row["flat"])),
+            "uneven": format_percentage(float(row["uneven"])),
+            "full": format_percentage(float(row["full"]), decimals=2),
+        }
+        for row in trip_rows
+    ]
+    print(format_table(display, title="Trip format mix per workload"))
+
+    # Toleo bytes per TB protected (Figure 11) and the planning number.
+    usage_rows = fig11.compute(study)
+    print(
+        format_table(
+            usage_rows,
+            columns=["bench", "gb_per_tb_protected"],
+            title="Toleo usage (GB per TB of protected data)",
+        )
+    )
+    average = fig11.average_gb_per_tb(usage_rows)
+    protectable = fig11.protectable_tb(usage_rows, TOLEO_CAPACITY_GB)
+    print(f"average usage: {average:.2f} GB per TB protected")
+    print(
+        f"-> one {TOLEO_CAPACITY_GB:.0f} GB Toleo device protects roughly "
+        f"{protectable:.0f} TB of rack memory for this workload mix"
+    )
+    worst = max(usage_rows, key=lambda r: r["gb_per_tb_protected"])
+    print(
+        f"worst-case workload is {worst['bench']} "
+        f"({worst['gb_per_tb_protected']} GB/TB); co-locate it with "
+        "high-version-locality workloads (bsw, llama2-gen) as the paper suggests."
+    )
+
+
+if __name__ == "__main__":
+    main()

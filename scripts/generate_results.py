@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure over the full 12-benchmark suite.
+
+Writes the rendered text of each experiment to ``results/`` and prints a
+combined report.  This is the long-form run used to fill EXPERIMENTS.md;
+``pytest benchmarks/ --benchmark-only`` runs the same experiments on a
+smaller benchmark subset.
+
+Usage:  python scripts/generate_results.py [--accesses N] [--space-accesses N]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.experiments import (
+    fig6, fig7, fig8, fig9, fig10, fig11, fig12,
+    security62, table1, table2, table3, table4,
+)
+from repro.experiments.harness import DEFAULT_BENCHMARKS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=30_000)
+    parser.add_argument("--space-accesses", type=int, default=80_000)
+    parser.add_argument("--scale", type=float, default=0.002)
+    parser.add_argument("--space-scale", type=float, default=0.001)
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args()
+
+    os.makedirs(args.out, exist_ok=True)
+    benches = DEFAULT_BENCHMARKS
+
+    sections = {
+        "table1.txt": table1.render(),
+        "table2.txt": table2.render(benches, scale=args.scale, num_accesses=args.accesses),
+        "table3.txt": table3.render(),
+        "table4.txt": table4.render(benches, scale=args.space_scale, num_accesses=args.accesses),
+        "fig6.txt": fig6.render(benches, scale=args.scale, num_accesses=args.accesses),
+        "fig7.txt": fig7.render(benches, scale=args.scale, num_accesses=args.accesses),
+        "fig8.txt": fig8.render(benches, scale=args.scale, num_accesses=args.accesses),
+        "fig9.txt": fig9.render(benches, scale=args.scale, num_accesses=args.accesses),
+        "fig10.txt": fig10.render(benches, scale=args.space_scale, num_accesses=args.space_accesses),
+        "fig11.txt": fig11.render(benches, scale=args.space_scale, num_accesses=args.space_accesses),
+        "fig12.txt": fig12.render(benches, scale=args.space_scale, num_accesses=args.space_accesses),
+        "sec62.txt": security62.render(),
+    }
+
+    for filename, text in sections.items():
+        path = os.path.join(args.out, filename)
+        with open(path, "w") as handle:
+            handle.write(text)
+        print(f"=== {filename} ===")
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

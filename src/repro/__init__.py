@@ -1,0 +1,70 @@
+"""Toleo reproduction library.
+
+This package reproduces the system described in *Toleo: Scaling Freshness to
+Tera-scale Memory Using CXL and PIM* (ASPLOS 2024).  It provides:
+
+* ``repro.core`` -- the paper's primary contribution: stealth versions, the
+  Trip page-level compression format, the Toleo smart-memory device model,
+  stealth-version caching, and the memory-protection engine that ties
+  confidentiality, integrity and freshness together.
+* ``repro.crypto`` -- a functional cryptography substrate (keyed pseudo block
+  cipher in XTS/CTR modes, MAC, D-RaNGe random number generator model).
+* ``repro.memory`` -- physical address/page abstractions, DRAM and CXL memory
+  device models, the MAC/UV metadata layout, and the CXL IDE secure link.
+* ``repro.cache`` -- set-associative caches, a three-level hierarchy, TLBs,
+  and the metadata caches used by the protection engine.
+* ``repro.baselines`` -- Client SGX's counter-mode Merkle (integrity) tree,
+  VAULT, Morphable Counters, Scalable SGX (CI-only) and InvisiMem models.
+* ``repro.sim`` -- the trace-driven simulator that evaluates the NoProtect /
+  CI / Toleo / InvisiMem configurations over workload traces.
+* ``repro.workloads`` -- synthetic trace generators for the paper's twelve
+  benchmarks plus generic generators.
+* ``repro.security`` -- adversary models (replay, traffic analysis) and the
+  analytical security bounds from Section 6.
+* ``repro.experiments`` -- one harness per table and figure in the paper.
+
+Quick start::
+
+    from repro.workloads import get_workload
+    from repro.sim import SimulationEngine, ProtectionMode
+
+    workload = get_workload("bsw", scale=0.001)
+    engine = SimulationEngine.from_mode(ProtectionMode.TOLEO)
+    result = engine.run(workload)
+    print(result.slowdown)
+"""
+
+from repro.core.config import ToleoConfig, SystemConfig
+from repro.core.versions import (
+    FullVersion,
+    StealthVersionPolicy,
+    STEALTH_BITS,
+    UV_BITS,
+)
+from repro.core.trip import TripFormat, FlatEntry, UnevenEntry, FullEntry, TripPageTable
+from repro.core.toleo import ToleoDevice, ToleoRequest, ToleoRequestType, ToleoResponse
+from repro.core.version_cache import StealthVersionCache
+from repro.core.protection import MemoryProtectionEngine, KillSwitchError
+
+__all__ = [
+    "ToleoConfig",
+    "SystemConfig",
+    "FullVersion",
+    "StealthVersionPolicy",
+    "STEALTH_BITS",
+    "UV_BITS",
+    "TripFormat",
+    "FlatEntry",
+    "UnevenEntry",
+    "FullEntry",
+    "TripPageTable",
+    "ToleoDevice",
+    "ToleoRequest",
+    "ToleoRequestType",
+    "ToleoResponse",
+    "StealthVersionCache",
+    "MemoryProtectionEngine",
+    "KillSwitchError",
+]
+
+__version__ = "1.0.0"

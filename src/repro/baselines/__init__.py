@@ -1,0 +1,40 @@
+"""Baseline memory-protection schemes the paper compares against.
+
+* :mod:`repro.baselines.merkle` -- a general counter/hash integrity tree with
+  a trusted root, the mechanism Client SGX uses for freshness.
+* :mod:`repro.baselines.counter_trees` -- leaf-representation models for
+  Client SGX, VAULT and Morphable Counters (Table 4) plus tree-traversal cost
+  models.
+* :mod:`repro.baselines.sgx` -- Client SGX (128 MB EPC + paging) and Scalable
+  SGX (CI only) behavioural models.
+* :mod:`repro.baselines.invisimem` -- the InvisiMem-far all-smart-memory
+  design with address/timing-channel defences (dummy traffic, double
+  encryption).
+"""
+
+from repro.baselines.merkle import MerkleTree, MerkleVerificationError
+from repro.baselines.counter_trees import (
+    CounterTreeModel,
+    client_sgx_tree,
+    vault_tree,
+    morphable_tree,
+    LeafRepresentation,
+    LEAF_REPRESENTATIONS,
+)
+from repro.baselines.sgx import ClientSgxModel, ScalableSgxModel, SgxGuarantees
+from repro.baselines.invisimem import InvisiMemModel
+
+__all__ = [
+    "MerkleTree",
+    "MerkleVerificationError",
+    "CounterTreeModel",
+    "client_sgx_tree",
+    "vault_tree",
+    "morphable_tree",
+    "LeafRepresentation",
+    "LEAF_REPRESENTATIONS",
+    "ClientSgxModel",
+    "ScalableSgxModel",
+    "SgxGuarantees",
+    "InvisiMemModel",
+]

@@ -1,0 +1,297 @@
+"""A functional Merkle/counter integrity tree with a trusted root.
+
+This is the mechanism Toleo replaces.  Client SGX keeps a per-cache-block
+version counter and protects the counters themselves with a hash tree whose
+root never leaves the trusted processor (Section 1 / 2.2).  Verifying or
+updating a block requires walking from the leaf counter to the root, which is
+what makes the approach unscalable at tera-scale.
+
+The tree here is fully functional: leaf counters and interior hashes live in
+(untrusted) node storage, only the root digest is "on chip", and the class
+detects both tampering and replay (rolling a subtree back to an older state).
+It also exposes the traversal-cost accounting (nodes touched per operation,
+with an optional node cache) used by the comparison experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.config import CACHE_BLOCK_BYTES
+
+
+class MerkleVerificationError(Exception):
+    """A node hash did not match: tampering or replay detected."""
+
+
+@dataclass
+class MerkleStats:
+    """Operation counters for one tree."""
+
+    verifies: int = 0
+    updates: int = 0
+    nodes_touched: int = 0
+    node_cache_hits: int = 0
+    node_cache_misses: int = 0
+    hash_computations: int = 0
+
+
+class MerkleTree:
+    """An N-ary counter tree over per-block version counters.
+
+    Parameters
+    ----------
+    num_blocks:
+        Number of protected 64-byte data blocks (leaf counters).
+    arity:
+        Children per interior node (8 in the paper's discussion).
+    node_cache_kib:
+        Size of the on-chip node cache in KiB (0 disables caching).  The
+        cache holds interior nodes and leaf-counter groups; a hit terminates
+        the upward walk early, exactly like the version cache discussed in
+        the introduction.
+    """
+
+    def __init__(self, num_blocks: int, arity: int = 8, node_cache_kib: int = 32) -> None:
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        if arity < 2:
+            raise ValueError("arity must be at least 2")
+        self.num_blocks = num_blocks
+        self.arity = arity
+        self.levels = self._compute_levels(num_blocks, arity)
+        # counters[block] is the leaf version counter.
+        self._counters: Dict[int, int] = {}
+        # hashes[(level, index)] is the stored digest of that node.  Level 0
+        # is the leaf-group level; the root is level ``levels - 1``.
+        self._hashes: Dict[Tuple[int, int], bytes] = {}
+        self._root: Optional[bytes] = None  # trusted, on-chip
+        self.stats = MerkleStats()
+        if node_cache_kib > 0:
+            self._node_cache: Optional[SetAssociativeCache] = SetAssociativeCache(
+                size_bytes=node_cache_kib * 1024,
+                ways=8,
+                line_bytes=CACHE_BLOCK_BYTES,
+                name="merkle-node-cache",
+            )
+        else:
+            self._node_cache = None
+
+    # -- geometry -------------------------------------------------------------
+
+    @staticmethod
+    def _compute_levels(num_blocks: int, arity: int) -> int:
+        """Number of levels from leaf groups up to and including the root."""
+        groups = (num_blocks + arity - 1) // arity
+        levels = 1
+        while groups > 1:
+            groups = (groups + arity - 1) // arity
+            levels += 1
+        return levels
+
+    @classmethod
+    def levels_for_memory(
+        cls, protected_bytes: int, arity: int = 8, block_bytes: int = CACHE_BLOCK_BYTES
+    ) -> int:
+        """Tree depth needed to protect a given memory size.
+
+        Matches the paper's observation that an 8-ary tree needs ~7 extra
+        accesses for 128 MB and ~13 for 28 TB.
+        """
+        return cls._compute_levels(max(1, protected_bytes // block_bytes), arity)
+
+    # -- hashing ---------------------------------------------------------------
+
+    def _leaf_group(self, block: int) -> int:
+        return block // self.arity
+
+    def _group_digest(self, group: int) -> bytes:
+        """Digest over the counters of one leaf group."""
+        self.stats.hash_computations += 1
+        h = hashlib.sha256()
+        h.update(group.to_bytes(8, "little"))
+        for i in range(self.arity):
+            block = group * self.arity + i
+            h.update(self._counters.get(block, 0).to_bytes(8, "little"))
+        return h.digest()
+
+    def _zero_group_digest(self, group: int) -> bytes:
+        """Digest of a freshly initialised (all-zero-counter) leaf group.
+
+        The hardware initialises the whole tree at boot; this model builds
+        node digests lazily, so an absent stored digest is equivalent to the
+        digest of an untouched, all-zero group.
+        """
+        h = hashlib.sha256()
+        h.update(group.to_bytes(8, "little"))
+        h.update(b"\x00" * 8 * self.arity)
+        return h.digest()
+
+    def _stored_leaf_digest(self, group: int) -> bytes:
+        """The trusted expectation for a leaf group's digest."""
+        stored = self._hashes.get((0, group))
+        if stored is not None:
+            return stored
+        return self._zero_group_digest(group)
+
+    def _interior_digest(self, level: int, index: int) -> bytes:
+        """Digest over the stored child digests of an interior node."""
+        self.stats.hash_computations += 1
+        h = hashlib.sha256()
+        h.update(level.to_bytes(4, "little"))
+        h.update(index.to_bytes(8, "little"))
+        for child in range(self.arity):
+            child_index = index * self.arity + child
+            h.update(self._hashes.get((level - 1, child_index), b"\x00" * 32))
+        return h.digest()
+
+    # -- node-cache model ------------------------------------------------------
+
+    def _node_address(self, level: int, index: int) -> int:
+        # Encode (level, index) into a synthetic address for the cache model.
+        return ((level << 48) | index) * CACHE_BLOCK_BYTES
+
+    def _touch_node(self, level: int, index: int, new_digest: Optional[bytes] = None):
+        """Account one node access against the on-chip node cache.
+
+        Returns ``(hit, trusted_digest)`` where ``trusted_digest`` is the
+        on-chip copy of the node's digest if the node was cached (the copy an
+        adversary cannot roll back).  When ``new_digest`` is given (update
+        path) the cached copy is refreshed.
+        """
+        self.stats.nodes_touched += 1
+        if self._node_cache is None:
+            return False, None
+        address = self._node_address(level, index)
+        cached_digest = self._node_cache.peek(address)
+        hit, _ = self._node_cache.access(address, payload=new_digest)
+        if hit:
+            self.stats.node_cache_hits += 1
+        else:
+            self.stats.node_cache_misses += 1
+            cached_digest = None
+        return hit, cached_digest
+
+    # -- operations --------------------------------------------------------------
+
+    def counter(self, block: int) -> int:
+        return self._counters.get(block, 0)
+
+    def update(self, block: int) -> int:
+        """Increment a block's counter and refresh the path to the root.
+
+        Returns the number of tree nodes touched by this operation.
+        """
+        self._check_block(block)
+        self.stats.updates += 1
+        touched_before = self.stats.nodes_touched
+        self._counters[block] = self._counters.get(block, 0) + 1
+
+        group = self._leaf_group(block)
+        digest = self._group_digest(group)
+        self._hashes[(0, group)] = digest
+        self._touch_node(0, group, new_digest=digest)
+        index = group
+        for level in range(1, self.levels):
+            index //= self.arity
+            digest = self._interior_digest(level, index)
+            self._hashes[(level, index)] = digest
+            self._touch_node(level, index, new_digest=digest)
+        self._root = self._hashes.get((self.levels - 1, 0), self._group_digest(0))
+        return self.stats.nodes_touched - touched_before
+
+    def verify(self, block: int) -> int:
+        """Verify a block's counter against the trusted root.
+
+        Returns the number of nodes touched.  Raises
+        :class:`MerkleVerificationError` if any stored digest is inconsistent
+        (tampering) or the recomputed root differs from the trusted root
+        (replay of an old subtree).  The walk stops early at a node-cache hit:
+        the cached digest is an on-chip (trusted) copy, so comparing the
+        recomputed digest against it both terminates the walk and catches
+        rollbacks of the in-memory subtree.
+        """
+        self._check_block(block)
+        self.stats.verifies += 1
+        touched_before = self.stats.nodes_touched
+
+        group = self._leaf_group(block)
+        expected = self._group_digest(group)
+        stored = self._stored_leaf_digest(group)
+        hit, trusted = self._touch_node(0, group)
+        reference = trusted if trusted is not None else stored
+        if reference != expected:
+            raise MerkleVerificationError(f"leaf group {group} digest mismatch")
+        if hit:
+            return self.stats.nodes_touched - touched_before
+
+        index = group
+        for level in range(1, self.levels):
+            index //= self.arity
+            recomputed = self._interior_digest(level, index)
+            stored = self._hashes.get((level, index), recomputed)
+            hit, trusted = self._touch_node(level, index)
+            reference = trusted if trusted is not None else stored
+            if reference != recomputed:
+                raise MerkleVerificationError(
+                    f"interior node ({level}, {index}) digest mismatch"
+                )
+            if hit:
+                return self.stats.nodes_touched - touched_before
+
+        if self._root is not None:
+            recomputed_root = self._hashes.get((self.levels - 1, 0))
+            if recomputed_root is None:
+                recomputed_root = (
+                    self._interior_digest(self.levels - 1, 0)
+                    if self.levels > 1
+                    else self._group_digest(0)
+                )
+            if recomputed_root != self._root:
+                raise MerkleVerificationError("root mismatch: replay detected")
+        return self.stats.nodes_touched - touched_before
+
+    # -- adversarial hooks ----------------------------------------------------------
+
+    def tamper_counter(self, block: int, value: int) -> None:
+        """Adversary overwrites a leaf counter without fixing the hashes."""
+        self._check_block(block)
+        self._counters[block] = value
+
+    def rollback_subtree(self, block: int, counter: int, stale_digest: bytes) -> None:
+        """Adversary replays an old (counter, leaf-digest) pair for a block."""
+        self._check_block(block)
+        self._counters[block] = counter
+        self._hashes[(0, self._leaf_group(block))] = stale_digest
+
+    def snapshot_leaf(self, block: int) -> Tuple[int, bytes]:
+        """Capture (counter, leaf digest) for a later replay attempt."""
+        group = self._leaf_group(block)
+        return self._counters.get(block, 0), self._hashes.get(
+            (0, group), self._group_digest(group)
+        )
+
+    # -- misc ---------------------------------------------------------------------------
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.num_blocks:
+            raise IndexError(f"block {block} out of range [0, {self.num_blocks})")
+
+    @property
+    def node_cache_hit_rate(self) -> float:
+        total = self.stats.node_cache_hits + self.stats.node_cache_misses
+        if total == 0:
+            return 0.0
+        return self.stats.node_cache_hits / total
+
+    def average_nodes_per_operation(self) -> float:
+        ops = self.stats.verifies + self.stats.updates
+        if ops == 0:
+            return 0.0
+        return self.stats.nodes_touched / ops
+
+
+__all__ = ["MerkleTree", "MerkleVerificationError", "MerkleStats"]

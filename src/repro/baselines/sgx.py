@@ -1,0 +1,179 @@
+"""Behavioural models of Client SGX and Scalable SGX.
+
+Table 1 of the paper contrasts the guarantees of the two Intel SGX
+generations with Toleo:
+
+=====================  ==========  ============  =====
+Protects               Client SGX  Scalable SGX  Toleo
+=====================  ==========  ============  =====
+Full physical memory   No          Yes           Yes
+Confidentiality        Yes         Partial       Yes
+Integrity              Yes         No            Yes
+Freshness              Yes         No            Yes
+=====================  ==========  ============  =====
+
+Client SGX protects only a 128 MB enclave page cache (EPC); working sets
+larger than the EPC page-fault in and out with a large slowdown (studies
+report ~5x).  Scalable SGX drops the Merkle tree and MACs entirely, trading
+integrity and freshness for capacity, and its deterministic AES-XTS leaks
+same-value writes ("partial" confidentiality).
+
+These classes give the experiments concrete objects to query for the
+guarantee matrix, the EPC paging cost model, and the traffic-analysis
+weakness demonstration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.baselines.counter_trees import client_sgx_tree
+from repro.core.config import MIB
+from repro.crypto.cipher import XtsCipher
+
+
+@dataclass(frozen=True)
+class SgxGuarantees:
+    """The guarantee matrix row for one scheme (Table 1)."""
+
+    name: str
+    full_physical_memory: bool
+    confidentiality: str  # "yes", "partial" or "no"
+    integrity: bool
+    freshness: bool
+
+    def as_row(self) -> Dict[str, str]:
+        def fmt(value: object) -> str:
+            if isinstance(value, bool):
+                return "Yes" if value else "No"
+            return str(value).capitalize()
+
+        return {
+            "Scheme": self.name,
+            "Full Physical Memory": fmt(self.full_physical_memory),
+            "Confidentiality": fmt(self.confidentiality),
+            "Integrity": fmt(self.integrity),
+            "Freshness": fmt(self.freshness),
+        }
+
+
+CLIENT_SGX_GUARANTEES = SgxGuarantees(
+    name="Client SGX",
+    full_physical_memory=False,
+    confidentiality="yes",
+    integrity=True,
+    freshness=True,
+)
+
+SCALABLE_SGX_GUARANTEES = SgxGuarantees(
+    name="Scalable SGX",
+    full_physical_memory=True,
+    confidentiality="partial",
+    integrity=False,
+    freshness=False,
+)
+
+TOLEO_GUARANTEES = SgxGuarantees(
+    name="Toleo",
+    full_physical_memory=True,
+    confidentiality="yes",
+    integrity=True,
+    freshness=True,
+)
+
+
+class ClientSgxModel:
+    """Client SGX: full CIF guarantees but only inside a 128 MB EPC.
+
+    The model captures the two costs the paper motivates with:
+
+    * Merkle-tree traversal work per protected access (via the counter-tree
+      model); and
+    * EPC paging for working sets larger than the EPC, with a configurable
+      page-fault penalty (the paper cites ~5x slowdowns for some workloads).
+    """
+
+    def __init__(
+        self,
+        epc_bytes: int = 128 * MIB,
+        page_fault_penalty_us: float = 8.0,
+        page_bytes: int = 4096,
+    ) -> None:
+        self.epc_bytes = epc_bytes
+        self.page_fault_penalty_us = page_fault_penalty_us
+        self.page_bytes = page_bytes
+        self.tree = client_sgx_tree()
+        self.guarantees = CLIENT_SGX_GUARANTEES
+
+    def tree_accesses_per_miss(self) -> int:
+        """Extra memory accesses per LLC miss inside the EPC."""
+        return self.tree.extra_accesses_per_miss(self.epc_bytes)
+
+    def page_fault_rate(self, working_set_bytes: int, locality: float = 0.9) -> float:
+        """Approximate EPC page-fault probability per page touch.
+
+        With a working set no larger than the EPC there are no capacity
+        faults.  Beyond that, the probability a touched page is not resident
+        grows with the fraction of the working set that does not fit,
+        moderated by access locality (fraction of touches that go to the hot
+        resident subset).
+        """
+        if working_set_bytes <= self.epc_bytes:
+            return 0.0
+        overflow_fraction = 1.0 - self.epc_bytes / working_set_bytes
+        return (1.0 - locality) * overflow_fraction
+
+    def estimated_slowdown(
+        self,
+        working_set_bytes: int,
+        page_touches_per_second: float = 1e6,
+        locality: float = 0.9,
+    ) -> float:
+        """Estimated execution-time multiplier due to EPC paging."""
+        fault_rate = self.page_fault_rate(working_set_bytes, locality)
+        fault_seconds = fault_rate * page_touches_per_second * self.page_fault_penalty_us * 1e-6
+        return 1.0 + fault_seconds
+
+
+class ScalableSgxModel:
+    """Scalable SGX: deterministic AES-XTS, no MAC, no freshness.
+
+    ``same_value_writes_distinguishable`` demonstrates the traffic-analysis
+    weakness Table 1 labels "partial" confidentiality: writing the same value
+    to the same address twice yields an identical ciphertext that an
+    adversary on the bus can recognise.
+    """
+
+    def __init__(self, key: bytes = b"scalable-sgx-key") -> None:
+        self._cipher = XtsCipher(key)
+        self.guarantees = SCALABLE_SGX_GUARANTEES
+
+    def encrypt(self, plaintext: bytes, address: int) -> bytes:
+        # No nonce: the tweak is derived from the address alone.
+        return self._cipher.encrypt(plaintext, address, version=0).data
+
+    def same_value_writes_distinguishable(self, plaintext: bytes, address: int) -> bool:
+        """True if two writes of the same value produce identical ciphertexts."""
+        first = self.encrypt(plaintext, address)
+        second = self.encrypt(plaintext, address)
+        return first == second
+
+
+def guarantee_matrix() -> Dict[str, SgxGuarantees]:
+    """The three rows of Table 1 keyed by scheme name."""
+    return {
+        g.name: g
+        for g in (CLIENT_SGX_GUARANTEES, SCALABLE_SGX_GUARANTEES, TOLEO_GUARANTEES)
+    }
+
+
+__all__ = [
+    "SgxGuarantees",
+    "ClientSgxModel",
+    "ScalableSgxModel",
+    "CLIENT_SGX_GUARANTEES",
+    "SCALABLE_SGX_GUARANTEES",
+    "TOLEO_GUARANTEES",
+    "guarantee_matrix",
+]

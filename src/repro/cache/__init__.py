@@ -1,0 +1,18 @@
+"""Cache substrate: set-associative caches, TLBs and the on-chip hierarchy."""
+
+from repro.cache.cache import SetAssociativeCache, CacheStats, FullyAssociativeCache
+from repro.cache.tlb import Tlb, TlbEntry
+from repro.cache.hierarchy import CacheHierarchy, AccessResult, AccessLevel
+from repro.cache.mac_cache import MacCache
+
+__all__ = [
+    "SetAssociativeCache",
+    "FullyAssociativeCache",
+    "CacheStats",
+    "Tlb",
+    "TlbEntry",
+    "CacheHierarchy",
+    "AccessResult",
+    "AccessLevel",
+    "MacCache",
+]

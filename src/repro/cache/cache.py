@@ -1,0 +1,233 @@
+"""Set-associative cache models with LRU replacement.
+
+These are the building blocks for the on-chip data hierarchy (L1/L2/L3), the
+MAC cache, the stealth-version overflow buffer and the extended L2 TLB.  The
+model is trace-driven and functional: it tracks presence, dirtiness and an
+optional payload per line, and collects hit/miss/eviction statistics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache structure."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    insertions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return the element-wise sum of two stats objects."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            dirty_evictions=self.dirty_evictions + other.dirty_evictions,
+            insertions=self.insertions + other.insertions,
+        )
+
+
+@dataclass
+class _Line:
+    """One cache line: tag plus optional payload and dirty bit."""
+
+    tag: int
+    dirty: bool = False
+    payload: Any = None
+
+
+class SetAssociativeCache:
+    """A classic set-associative cache with true-LRU replacement.
+
+    Addresses are split as ``tag | set index | block offset``.  The cache is
+    indexed by *block address* internally; callers pass byte addresses.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.
+    ways:
+        Associativity.  Use ``ways >= size_bytes // line_bytes`` (or the
+        :class:`FullyAssociativeCache` helper) for a fully associative
+        structure.
+    line_bytes:
+        Line (block) size; also the access granularity.
+    name:
+        Label used in reports.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        line_bytes: int = 64,
+        name: str = "cache",
+    ) -> None:
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        lines = size_bytes // line_bytes
+        if lines == 0:
+            raise ValueError("cache must hold at least one line")
+        ways = min(ways, lines)
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = max(1, lines // ways)
+        # Each set is an OrderedDict from tag -> _Line, LRU order = insertion
+        # order with move_to_end on touch.
+        self._sets: List[OrderedDict[int, _Line]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    # -- address helpers ----------------------------------------------------
+
+    def _index_tag(self, address: int) -> Tuple[int, int]:
+        block = address // self.line_bytes
+        return block % self.num_sets, block // self.num_sets
+
+    # -- core operations ----------------------------------------------------
+
+    def lookup(self, address: int, update_lru: bool = True) -> bool:
+        """Return True on hit.  Does not allocate on miss."""
+        idx, tag = self._index_tag(address)
+        line_set = self._sets[idx]
+        if tag in line_set:
+            if update_lru:
+                line_set.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def access(
+        self,
+        address: int,
+        is_write: bool = False,
+        payload: Any = None,
+    ) -> Tuple[bool, Optional[Any]]:
+        """Access the cache, allocating on miss.
+
+        Returns ``(hit, evicted_payload)`` where ``evicted_payload`` is the
+        payload of a victim line if one was evicted (else ``None``).
+        """
+        idx, tag = self._index_tag(address)
+        line_set = self._sets[idx]
+        if tag in line_set:
+            line = line_set[tag]
+            line_set.move_to_end(tag)
+            if is_write:
+                line.dirty = True
+            if payload is not None:
+                line.payload = payload
+            self.stats.hits += 1
+            return True, None
+        self.stats.misses += 1
+        evicted = self._insert(idx, tag, dirty=is_write, payload=payload)
+        return False, evicted
+
+    def fill(self, address: int, payload: Any = None, dirty: bool = False) -> Optional[Any]:
+        """Insert a line without counting a hit or miss (refill path)."""
+        idx, tag = self._index_tag(address)
+        line_set = self._sets[idx]
+        if tag in line_set:
+            line = line_set[tag]
+            line.payload = payload if payload is not None else line.payload
+            line.dirty = line.dirty or dirty
+            line_set.move_to_end(tag)
+            return None
+        return self._insert(idx, tag, dirty=dirty, payload=payload)
+
+    def _insert(self, idx: int, tag: int, dirty: bool, payload: Any) -> Optional[Any]:
+        line_set = self._sets[idx]
+        evicted_payload = None
+        if len(line_set) >= self.ways:
+            _, victim = line_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+            evicted_payload = victim.payload
+        line_set[tag] = _Line(tag=tag, dirty=dirty, payload=payload)
+        self.stats.insertions += 1
+        return evicted_payload
+
+    def peek(self, address: int) -> Optional[Any]:
+        """Return the payload of a resident line without LRU/stat effects."""
+        idx, tag = self._index_tag(address)
+        line = self._sets[idx].get(tag)
+        return line.payload if line is not None else None
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a line if present; returns True if it was resident."""
+        idx, tag = self._index_tag(address)
+        return self._sets[idx].pop(tag, None) is not None
+
+    def flush(self) -> int:
+        """Drop every line; returns how many were resident."""
+        count = sum(len(s) for s in self._sets)
+        for line_set in self._sets:
+            line_set.clear()
+        return count
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.num_sets * self.ways
+
+    def occupancy(self) -> float:
+        return self.resident_lines / self.capacity_lines
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "size_bytes": self.size_bytes,
+            "ways": self.ways,
+            "sets": self.num_sets,
+            "line_bytes": self.line_bytes,
+            "hit_rate": self.stats.hit_rate,
+            "accesses": self.stats.accesses,
+        }
+
+
+class FullyAssociativeCache(SetAssociativeCache):
+    """Convenience subclass: one set containing every line."""
+
+    def __init__(self, entries: int, line_bytes: int = 64, name: str = "fa-cache") -> None:
+        super().__init__(
+            size_bytes=entries * line_bytes,
+            ways=entries,
+            line_bytes=line_bytes,
+            name=name,
+        )
+
+
+__all__ = ["SetAssociativeCache", "FullyAssociativeCache", "CacheStats"]

@@ -1,0 +1,157 @@
+"""Three-level on-chip data cache hierarchy.
+
+A trace-driven model of the paper's Table 3 hierarchy: per-core L1 and L2
+caches plus an L3 slice shared by eight cores.  The hierarchy consumes a
+stream of (address, is_write) accesses and reports which level served each
+one; LLC misses and dirty LLC evictions are the events that drive the
+memory-protection engine (decrypt + MAC check on misses, encrypt + MAC +
+version update on writebacks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.cache import CacheStats, SetAssociativeCache
+from repro.core.config import CacheConfig, SystemConfig
+
+
+class AccessLevel(enum.Enum):
+    """Which level of the hierarchy served an access."""
+
+    L1 = "L1"
+    L2 = "L2"
+    L3 = "L3"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one access through the hierarchy."""
+
+    level: AccessLevel
+    latency_cycles: int
+    llc_miss: bool
+    writeback_address: Optional[int] = None
+
+    @property
+    def hit(self) -> bool:
+        return self.level is not AccessLevel.MEMORY
+
+
+class CacheHierarchy:
+    """L1 -> L2 -> L3 inclusive hierarchy with writeback L3.
+
+    The model is deliberately simple: it tracks presence and dirtiness per
+    level with LRU replacement, which is sufficient to derive LLC miss rates
+    and dirty-writeback rates for the protection-engine experiments.  Dirty
+    evictions from the L3 are surfaced as ``writeback_address`` so the caller
+    can charge encryption/MAC/version-update work for them.
+    """
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config if config is not None else SystemConfig()
+        self.l1 = self._build(self.config.l1_config)
+        self.l2 = self._build(self.config.l2_config)
+        self.l3 = self._build(self.config.l3_config)
+        self.memory_accesses = 0
+        self.writebacks = 0
+
+    @staticmethod
+    def _build(cfg: CacheConfig) -> SetAssociativeCache:
+        return SetAssociativeCache(
+            size_bytes=cfg.size_bytes,
+            ways=cfg.ways,
+            line_bytes=cfg.line_bytes,
+            name=cfg.name,
+        )
+
+    # -- access path ---------------------------------------------------------
+
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Run one load/store through the hierarchy."""
+        cfg = self.config
+        block = (address // cfg.l1_config.line_bytes) * cfg.l1_config.line_bytes
+
+        if self.l1.lookup(block):
+            if is_write:
+                self.l1.fill(block, dirty=True)
+            return AccessResult(
+                level=AccessLevel.L1,
+                latency_cycles=cfg.l1_config.latency_cycles,
+                llc_miss=False,
+            )
+
+        if self.l2.lookup(block):
+            self.l1.fill(block, dirty=is_write)
+            return AccessResult(
+                level=AccessLevel.L2,
+                latency_cycles=cfg.l2_config.latency_cycles,
+                llc_miss=False,
+            )
+
+        if self.l3.lookup(block):
+            self.l2.fill(block)
+            self.l1.fill(block, dirty=is_write)
+            return AccessResult(
+                level=AccessLevel.L3,
+                latency_cycles=cfg.l3_config.latency_cycles,
+                llc_miss=False,
+            )
+
+        # LLC miss: fetch from memory, fill all levels, possibly evicting a
+        # dirty block from the L3 (which becomes a protected writeback).
+        self.memory_accesses += 1
+        writeback = self._fill_from_memory(block, is_write)
+        return AccessResult(
+            level=AccessLevel.MEMORY,
+            latency_cycles=cfg.l3_config.latency_cycles,
+            llc_miss=True,
+            writeback_address=writeback,
+        )
+
+    def _fill_from_memory(self, block: int, is_write: bool) -> Optional[int]:
+        # Track dirty state in the L3 payload so dirty evictions are visible.
+        evicted = self.l3.fill(block, payload={"addr": block, "dirty": is_write})
+        self.l2.fill(block)
+        self.l1.fill(block, dirty=is_write)
+        if is_write:
+            payload = self.l3.peek(block)
+            if payload is not None:
+                payload["dirty"] = True
+        if isinstance(evicted, dict) and evicted.get("dirty"):
+            self.writebacks += 1
+            return int(evicted["addr"])
+        return None
+
+    def mark_dirty(self, address: int) -> None:
+        """Mark a resident L3 block dirty (used by write-allocate callers)."""
+        block = (address // self.config.l3_config.line_bytes) * self.config.l3_config.line_bytes
+        payload = self.l3.peek(block)
+        if payload is not None:
+            payload["dirty"] = True
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def llc_stats(self) -> CacheStats:
+        return self.l3.stats
+
+    def llc_miss_rate(self) -> float:
+        return self.l3.stats.miss_rate
+
+    def mpki(self, instructions: int) -> float:
+        """LLC misses per kilo-instruction for a given instruction count."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.l3.stats.misses / instructions
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()
+        self.l3.flush()
+
+
+__all__ = ["CacheHierarchy", "AccessLevel", "AccessResult"]

@@ -1,0 +1,124 @@
+"""Translation lookaside buffer with the Toleo stealth-version extension.
+
+Section 4.4 extends the last-level (L2) TLB's data array with 12 bytes per
+entry to hold the page's flat Trip entry.  The tag array and the replacement
+policy are unchanged, so the extension rides along with normal address
+translation: whenever the TLB holds a page's translation, it also holds the
+page's flat stealth entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.cache.cache import CacheStats
+from repro.core.config import FLAT_ENTRY_BYTES
+
+
+@dataclass
+class TlbEntry:
+    """One TLB entry: translation plus the 12-byte flat stealth extension."""
+
+    vpn: int
+    ppn: int
+    stealth_payload: Any = None
+
+
+class Tlb:
+    """A fully associative, LRU last-level TLB with a stealth extension.
+
+    Parameters
+    ----------
+    entries:
+        Number of TLB entries (256 in the paper's configuration).
+    stealth_extension:
+        If True, each entry carries a flat Trip entry payload and stealth
+        lookups/hit-rates are tracked separately from translation.
+    """
+
+    def __init__(self, entries: int = 256, stealth_extension: bool = True) -> None:
+        if entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        self.entries = entries
+        self.stealth_extension = stealth_extension
+        self._table: "OrderedDict[int, TlbEntry]" = OrderedDict()
+        self.translation_stats = CacheStats()
+        self.stealth_stats = CacheStats()
+
+    # -- translation path ---------------------------------------------------
+
+    def lookup(self, vpn: int) -> Optional[TlbEntry]:
+        """Translate a virtual page number; None on TLB miss."""
+        entry = self._table.get(vpn)
+        if entry is not None:
+            self._table.move_to_end(vpn)
+            self.translation_stats.hits += 1
+            return entry
+        self.translation_stats.misses += 1
+        return None
+
+    def insert(self, vpn: int, ppn: int, stealth_payload: Any = None) -> Optional[TlbEntry]:
+        """Install a translation, returning the evicted entry if any."""
+        evicted = None
+        if vpn in self._table:
+            self._table.move_to_end(vpn)
+            entry = self._table[vpn]
+            entry.ppn = ppn
+            if stealth_payload is not None:
+                entry.stealth_payload = stealth_payload
+            return None
+        if len(self._table) >= self.entries:
+            _, evicted = self._table.popitem(last=False)
+            self.translation_stats.evictions += 1
+        self._table[vpn] = TlbEntry(vpn=vpn, ppn=ppn, stealth_payload=stealth_payload)
+        self.translation_stats.insertions += 1
+        return evicted
+
+    # -- stealth extension path ------------------------------------------------
+
+    def stealth_lookup(self, vpn: int) -> Optional[Any]:
+        """Return the cached flat stealth entry for a page, if resident."""
+        if not self.stealth_extension:
+            raise RuntimeError("stealth extension disabled for this TLB")
+        entry = self._table.get(vpn)
+        if entry is not None and entry.stealth_payload is not None:
+            self._table.move_to_end(vpn)
+            self.stealth_stats.hits += 1
+            return entry.stealth_payload
+        self.stealth_stats.misses += 1
+        return None
+
+    def stealth_fill(self, vpn: int, payload: Any) -> None:
+        """Attach a flat stealth entry to a page, installing it if needed."""
+        if not self.stealth_extension:
+            raise RuntimeError("stealth extension disabled for this TLB")
+        entry = self._table.get(vpn)
+        if entry is None:
+            self.insert(vpn, ppn=vpn, stealth_payload=payload)
+        else:
+            entry.stealth_payload = payload
+            self._table.move_to_end(vpn)
+
+    def invalidate(self, vpn: int) -> bool:
+        return self._table.pop(vpn, None) is not None
+
+    def flush(self) -> int:
+        count = len(self._table)
+        self._table.clear()
+        return count
+
+    # -- sizing ------------------------------------------------------------------
+
+    @property
+    def resident(self) -> int:
+        return len(self._table)
+
+    @property
+    def extension_bytes(self) -> int:
+        """On-chip SRAM added by the stealth extension (12 B per entry)."""
+        return self.entries * FLAT_ENTRY_BYTES if self.stealth_extension else 0
+
+
+__all__ = ["Tlb", "TlbEntry"]

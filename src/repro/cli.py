@@ -1,0 +1,151 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+Installed as the ``toleo-repro`` console script::
+
+    toleo-repro list                     # show available experiments
+    toleo-repro table1                   # render one experiment
+    toleo-repro fig6 --benchmarks bsw pr --accesses 20000
+    toleo-repro all --out results/       # render everything to a directory
+
+Each experiment name maps to the corresponding module in
+:mod:`repro.experiments`; rendering uses the same code paths as the pytest
+benchmark harness, just with user-selectable benchmark subsets and trace
+lengths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.experiments import (
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    security62,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.harness import DEFAULT_BENCHMARKS, QUICK_BENCHMARKS
+
+
+def _simple(render: Callable[[], str]) -> Callable[..., str]:
+    """Wrap a render function that takes no benchmark arguments."""
+
+    def run(benchmarks=None, scale=None, num_accesses=None) -> str:
+        return render()
+
+    return run
+
+
+#: Experiment name -> callable(benchmarks, scale, num_accesses) -> text.
+EXPERIMENTS: Dict[str, Callable[..., str]] = {
+    "table1": _simple(table1.render),
+    "table2": lambda benchmarks, scale, num_accesses: table2.render(
+        benchmarks, scale=scale, num_accesses=num_accesses
+    ),
+    "table3": _simple(table3.render),
+    "table4": lambda benchmarks, scale, num_accesses: table4.render(
+        benchmarks, scale=scale, num_accesses=num_accesses
+    ),
+    "fig6": lambda benchmarks, scale, num_accesses: fig6.render(
+        benchmarks, scale=scale, num_accesses=num_accesses
+    ),
+    "fig7": lambda benchmarks, scale, num_accesses: fig7.render(
+        benchmarks, scale=scale, num_accesses=num_accesses
+    ),
+    "fig8": lambda benchmarks, scale, num_accesses: fig8.render(
+        benchmarks, scale=scale, num_accesses=num_accesses
+    ),
+    "fig9": lambda benchmarks, scale, num_accesses: fig9.render(
+        benchmarks, scale=scale, num_accesses=num_accesses
+    ),
+    "fig10": lambda benchmarks, scale, num_accesses: fig10.render(
+        benchmarks, scale=scale, num_accesses=num_accesses
+    ),
+    "fig11": lambda benchmarks, scale, num_accesses: fig11.render(
+        benchmarks, scale=scale, num_accesses=num_accesses
+    ),
+    "fig12": lambda benchmarks, scale, num_accesses: fig12.render(
+        benchmarks, scale=scale, num_accesses=num_accesses
+    ),
+    "sec62": _simple(security62.render),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="toleo-repro",
+        description="Regenerate the Toleo paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="experiment to render, 'all' for every experiment, or 'list'",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="benchmark subset (default: a quick representative subset; "
+        "use --full for all twelve)",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="run all twelve paper benchmarks"
+    )
+    parser.add_argument("--scale", type=float, default=0.002, help="footprint scale")
+    parser.add_argument(
+        "--accesses", type=int, default=20_000, help="trace length per benchmark"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR", help="write rendered text files to DIR"
+    )
+    return parser
+
+
+def _resolve_benchmarks(args: argparse.Namespace) -> Sequence[str]:
+    if args.benchmarks:
+        return tuple(args.benchmarks)
+    if args.full:
+        return DEFAULT_BENCHMARKS
+    return QUICK_BENCHMARKS
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    benchmarks = _resolve_benchmarks(args)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+
+    for name in names:
+        text = EXPERIMENTS[name](benchmarks, args.scale, args.accesses)
+        if args.out:
+            path = os.path.join(args.out, f"{name}.txt")
+            with open(path, "w") as handle:
+                handle.write(text)
+            print(f"wrote {path}")
+        else:
+            print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Core Toleo contribution: versions, Trip compression, device model, caching,
+and the memory-protection engine."""
+
+from repro.core.config import ToleoConfig, SystemConfig
+from repro.core.versions import FullVersion, StealthVersionPolicy
+from repro.core.trip import TripFormat, FlatEntry, UnevenEntry, FullEntry, TripPageTable
+from repro.core.toleo import ToleoDevice, ToleoRequest, ToleoRequestType, ToleoResponse
+from repro.core.version_cache import StealthVersionCache
+from repro.core.protection import MemoryProtectionEngine, KillSwitchError
+
+__all__ = [
+    "ToleoConfig",
+    "SystemConfig",
+    "FullVersion",
+    "StealthVersionPolicy",
+    "TripFormat",
+    "FlatEntry",
+    "UnevenEntry",
+    "FullEntry",
+    "TripPageTable",
+    "ToleoDevice",
+    "ToleoRequest",
+    "ToleoRequestType",
+    "ToleoResponse",
+    "StealthVersionCache",
+    "MemoryProtectionEngine",
+    "KillSwitchError",
+]

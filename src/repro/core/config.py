@@ -1,0 +1,226 @@
+"""Configuration objects and architectural constants for the Toleo system.
+
+The numbers here come directly from the paper:
+
+* Section 4.2 -- 64-bit full versions split into a 37-bit upper version (UV)
+  and a 27-bit stealth version; stealth reset probability of 2^-20 per
+  increment.
+* Section 4.3 / Figure 3 -- Trip entry sizes: flat 12 B, uneven 56 B
+  (64 x 7-bit private offsets), full 216 B of raw stealth versions packed in
+  four 56-byte blocks.
+* Section 4.4 / Figure 4 -- a 168 GB Toleo device with a 74.6 GB statically
+  mapped flat-entry array and a 93.4 GB dynamically allocated region; the
+  28 TB rack memory is split into 24.8 TB of ciphertext data and 3.2 TB of
+  MAC + UV metadata.
+* Table 3 -- the down-scaled simulation configuration (32-core node, DDR4-3200
+  local memory, a CXL 2.0 memory-pool link and a CXL 2.0 IDE link to Toleo).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------
+# Fundamental memory geometry
+# --------------------------------------------------------------------------
+
+CACHE_BLOCK_BYTES = 64
+PAGE_BYTES = 4096
+BLOCKS_PER_PAGE = PAGE_BYTES // CACHE_BLOCK_BYTES  # 64
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+# --------------------------------------------------------------------------
+# Version geometry (Section 4.2)
+# --------------------------------------------------------------------------
+
+FULL_VERSION_BITS = 64
+STEALTH_VERSION_BITS = 27
+UPPER_VERSION_BITS = FULL_VERSION_BITS - STEALTH_VERSION_BITS  # 37
+STEALTH_RESET_PROBABILITY = 2.0 ** -20
+SGX_VERSION_BITS = 56
+
+# --------------------------------------------------------------------------
+# Trip entry geometry (Section 4.3, Figure 3)
+# --------------------------------------------------------------------------
+
+FLAT_ENTRY_BYTES = 12
+UNEVEN_ENTRY_BYTES = 56          # 64 x 7-bit offsets packed into 56 bytes
+FULL_ENTRY_BYTES = 216           # 64 x 27-bit stealth versions
+FULL_ENTRY_BLOCKS = 4            # a full entry occupies four 56-byte blocks
+UNEVEN_OFFSET_BITS = 7
+UNEVEN_MAX_STRIDE = (1 << UNEVEN_OFFSET_BITS) - 1  # 127
+
+# MAC geometry (Section 4.4, Figure 4)
+MAC_BITS = 56
+MACS_PER_BLOCK = 8               # eight 56-bit MACs packed in a 64 B block
+
+
+@dataclass(frozen=True)
+class ToleoConfig:
+    """Configuration of a single Toleo smart-memory device.
+
+    The defaults model the paper's 168 GB device protecting a 28 TB rack
+    (24.8 TB of data + 3.2 TB of MAC/UV metadata).
+    """
+
+    capacity_bytes: int = 168 * GIB
+    flat_region_bytes: int = int(74.6 * GIB)
+    protected_data_bytes: int = int(24.8 * TIB)
+    stealth_bits: int = STEALTH_VERSION_BITS
+    uv_bits: int = UPPER_VERSION_BITS
+    reset_probability: float = STEALTH_RESET_PROBABILITY
+    flat_entry_bytes: int = FLAT_ENTRY_BYTES
+    uneven_entry_bytes: int = UNEVEN_ENTRY_BYTES
+    full_entry_bytes: int = FULL_ENTRY_BYTES
+    page_bytes: int = PAGE_BYTES
+    cache_block_bytes: int = CACHE_BLOCK_BYTES
+    # CXL 2.0 IDE x2 link to Toleo (Table 3)
+    link_bandwidth_gbps: float = 3.32
+    link_latency_ns: float = 95.0
+    dram_access_latency_ns: float = 15.0
+
+    @property
+    def dynamic_region_bytes(self) -> int:
+        """Bytes available for dynamically allocated uneven/full entries."""
+        return self.capacity_bytes - self.flat_region_bytes
+
+    @property
+    def blocks_per_page(self) -> int:
+        return self.page_bytes // self.cache_block_bytes
+
+    @property
+    def flat_entry_capacity(self) -> int:
+        """Number of flat entries the static region can hold."""
+        return self.flat_region_bytes // self.flat_entry_bytes
+
+    @property
+    def protected_pages(self) -> int:
+        """Number of 4 KB pages the device is provisioned to protect."""
+        return self.protected_data_bytes // self.page_bytes
+
+    @property
+    def access_latency_ns(self) -> float:
+        """Round-trip latency of a Toleo stealth-version access over CXL IDE."""
+        return self.link_latency_ns + self.dram_access_latency_ns
+
+    def scaled(self, protected_data_bytes: int) -> "ToleoConfig":
+        """Return a copy provisioned for a smaller protected-data footprint.
+
+        The flat region shrinks proportionally (one flat entry per protected
+        page) while the dynamic region keeps the paper's flat:dynamic ratio.
+        """
+        pages = max(1, protected_data_bytes // self.page_bytes)
+        flat = pages * self.flat_entry_bytes
+        ratio = self.dynamic_region_bytes / self.flat_region_bytes
+        dynamic = int(flat * ratio)
+        return dataclasses.replace(
+            self,
+            protected_data_bytes=protected_data_bytes,
+            flat_region_bytes=flat,
+            capacity_bytes=flat + dynamic,
+        )
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of a single cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int = CACHE_BLOCK_BYTES
+    latency_cycles: int = 1
+
+    @property
+    def sets(self) -> int:
+        return max(1, self.size_bytes // (self.ways * self.line_bytes))
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The down-scaled per-node simulation configuration from Table 3."""
+
+    cores: int = 32
+    frequency_ghz: float = 2.25
+    dispatch_width: int = 6
+    rob_entries: int = 320
+
+    l1_config: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1", 32 * KIB, 8, latency_cycles=4)
+    )
+    l2_config: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2", 1 * MIB, 16, latency_cycles=14)
+    )
+    l3_config: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L3", 16 * MIB, 16, latency_cycles=49)
+    )
+    l3_shared_by_cores: int = 8
+
+    # Local DRAM: DDR4-3200, 256 GB/channel, 3 channels
+    local_dram_bytes: int = 768 * GIB
+    local_dram_channels: int = 3
+    local_dram_bandwidth_gbps: float = 25.6 * 3
+    local_dram_latency_ns: float = 60.0
+
+    # CXL memory pool: 16 TB shared, 1 TB available to this node
+    cxl_pool_bytes: int = 1 * TIB
+    cxl_link_bandwidth_gbps: float = 12.7
+    cxl_link_latency_ns: float = 95.0
+
+    # Memory-protection engine
+    aes_latency_cycles: int = 40
+    mac_cache_bytes: int = 1 * MIB
+    mac_cache_ways: int = 16
+    tlb_stealth_entries: int = 256
+    stealth_overflow_buffer_bytes: int = 28 * KIB
+    stealth_overflow_ways: int = 16
+
+    toleo: ToleoConfig = field(default_factory=ToleoConfig)
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.frequency_ghz
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return self.local_dram_bytes + self.cxl_pool_bytes
+
+    @property
+    def cxl_fraction(self) -> float:
+        """Fraction of pages mapped to the CXL pool.
+
+        The paper maps virtual pages to local DRAM and the remote pool
+        proportionally to their bandwidth to maximise aggregate bandwidth.
+        """
+        total_bw = self.local_dram_bandwidth_gbps + self.cxl_link_bandwidth_gbps
+        return self.cxl_link_bandwidth_gbps / total_bw
+
+    @property
+    def stealth_overflow_entries(self) -> int:
+        return self.stealth_overflow_buffer_bytes // UNEVEN_ENTRY_BYTES
+
+    def down_scaled(self, factor: float) -> "SystemConfig":
+        """Return a copy with core count, caches and bandwidths scaled down.
+
+        Used to model the Redis setup (1/3 scale, footnote 2 of Table 3).
+        """
+        return dataclasses.replace(
+            self,
+            cores=max(1, int(self.cores * factor)),
+            l3_config=dataclasses.replace(
+                self.l3_config, size_bytes=int(self.l3_config.size_bytes * factor)
+            ),
+            local_dram_bandwidth_gbps=self.local_dram_bandwidth_gbps * factor,
+            cxl_link_bandwidth_gbps=self.cxl_link_bandwidth_gbps * factor,
+            mac_cache_bytes=int(self.mac_cache_bytes * factor),
+        )
+
+
+DEFAULT_SYSTEM_CONFIG = SystemConfig()
+DEFAULT_TOLEO_CONFIG = ToleoConfig()

@@ -1,0 +1,180 @@
+"""Stealth / upper version arithmetic and the probabilistic reset policy.
+
+Section 4.2 of the paper splits the 64-bit full version number into:
+
+* the **upper version (UV)** -- the 37 most-significant bits, stored in
+  conventional memory (co-located with the MACs, Figure 4); and
+* the **stealth version** -- the 27 least-significant bits, stored only in
+  the trusted Toleo smart memory.
+
+A stealth version is initialised to a *random* value (so it cannot be
+inferred from the public address trace), increments monotonically modulo
+2^27, and on every increment is reset to a fresh random value with
+probability 2^-20.  Each reset increments the UV, so the concatenated full
+version remains unique with overwhelming probability (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import (
+    STEALTH_VERSION_BITS,
+    UPPER_VERSION_BITS,
+    STEALTH_RESET_PROBABILITY,
+)
+from repro.crypto.rng import DRangeRng
+
+STEALTH_BITS = STEALTH_VERSION_BITS
+UV_BITS = UPPER_VERSION_BITS
+STEALTH_SPACE = 1 << STEALTH_BITS
+UV_SPACE = 1 << UV_BITS
+
+
+@dataclass(frozen=True)
+class FullVersion:
+    """A 64-bit full version composed of an upper version and a stealth version.
+
+    The full version is the nonce/tweak fed to the block cipher and the MAC,
+    so its uniqueness per (address, write) is what ultimately guarantees both
+    confidentiality and freshness.
+    """
+
+    upper: int
+    stealth: int
+    stealth_bits: int = STEALTH_BITS
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.stealth < (1 << self.stealth_bits):
+            raise ValueError(
+                f"stealth version {self.stealth} out of range for {self.stealth_bits} bits"
+            )
+        if self.upper < 0:
+            raise ValueError("upper version must be non-negative")
+
+    @property
+    def value(self) -> int:
+        """The combined 64-bit version used as the cipher tweak / MAC input."""
+        return (self.upper << self.stealth_bits) | self.stealth
+
+    def with_stealth(self, stealth: int) -> "FullVersion":
+        return FullVersion(self.upper, stealth, self.stealth_bits)
+
+    def bump_upper(self) -> "FullVersion":
+        return FullVersion(self.upper + 1, self.stealth, self.stealth_bits)
+
+    def __int__(self) -> int:  # pragma: no cover - convenience
+        return self.value
+
+
+@dataclass(frozen=True)
+class IncrementResult:
+    """Outcome of one stealth-version increment."""
+
+    stealth: int
+    reset: bool
+    wrapped: bool
+
+
+class StealthVersionPolicy:
+    """Implements random initialisation, increment and probabilistic reset.
+
+    This policy is shared by the Toleo device (which owns the authoritative
+    stealth state) and by analytical/security code that needs to reason about
+    reset behaviour.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness (the paper's D-RaNGe block).  A seeded
+        :class:`~repro.crypto.rng.DRangeRng` gives reproducible runs.
+    stealth_bits:
+        Width of the stealth version (27 in the paper).
+    reset_probability:
+        Per-increment probability of resetting the stealth version to a new
+        random initial value (2^-20 in the paper).
+    """
+
+    def __init__(
+        self,
+        rng: DRangeRng | None = None,
+        stealth_bits: int = STEALTH_BITS,
+        reset_probability: float = STEALTH_RESET_PROBABILITY,
+    ) -> None:
+        if stealth_bits <= 0 or stealth_bits >= 64:
+            raise ValueError("stealth_bits must be in (0, 64)")
+        if not 0.0 <= reset_probability <= 1.0:
+            raise ValueError("reset_probability must be in [0, 1]")
+        self._rng = rng if rng is not None else DRangeRng()
+        self.stealth_bits = stealth_bits
+        self.reset_probability = reset_probability
+        self.space = 1 << stealth_bits
+
+    # -- basic operations ----------------------------------------------------
+
+    def initial_value(self) -> int:
+        """A fresh random stealth version in [0, 2^stealth_bits)."""
+        return self._rng.random_below(self.space)
+
+    def increment(self, stealth: int) -> IncrementResult:
+        """Advance a stealth version by one write.
+
+        Returns the new stealth value, whether a probabilistic reset fired
+        (the caller must then bump the UV and re-encrypt the page), and
+        whether the counter wrapped modulo the stealth space.
+        """
+        if not 0 <= stealth < self.space:
+            raise ValueError(f"stealth value {stealth} out of range")
+        if self._rng.bernoulli(self.reset_probability):
+            return IncrementResult(stealth=self.initial_value(), reset=True, wrapped=False)
+        nxt = stealth + 1
+        wrapped = nxt >= self.space
+        return IncrementResult(stealth=nxt % self.space, reset=False, wrapped=wrapped)
+
+    def reset(self) -> int:
+        """Force a reset (used by page free / remap downgrades)."""
+        return self.initial_value()
+
+    # -- analytical helpers (Section 6.2) -------------------------------------
+
+    def prob_no_reset(self, updates: int) -> float:
+        """Probability that ``updates`` consecutive increments see no reset."""
+        if updates < 0:
+            raise ValueError("updates must be non-negative")
+        return (1.0 - self.reset_probability) ** updates
+
+    def prob_full_version_collision(self, total_updates_log2: int = 56) -> float:
+        """Upper bound on the probability of a full-version collision.
+
+        Follows the argument in Section 6.2: divide ``2^total_updates_log2``
+        consecutive updates to one address into intervals of ``2^(stealth_bits-1)``
+        updates; a collision requires some interval to contain no reset.
+        With the paper's parameters (2^56 updates, 27-bit stealth, p=2^-20)
+        this evaluates to ~1.7e-19.
+        """
+        interval = 1 << (self.stealth_bits - 1)
+        n_intervals = 1 << max(0, total_updates_log2 - (self.stealth_bits - 1))
+        p_no_reset = self.prob_no_reset(interval)
+        # P(at least one interval has no reset) <= n_intervals * p_no_reset,
+        # and equals 1 - (1 - p)^n which we compute exactly when feasible.
+        if p_no_reset == 0.0:
+            return 0.0
+        # Use the union bound form the paper reports (1 - (1-p)^n ~= n*p here).
+        return min(1.0, n_intervals * p_no_reset)
+
+    def expected_updates_between_resets(self) -> float:
+        """Mean number of increments between two resets (geometric mean)."""
+        if self.reset_probability == 0.0:
+            return float("inf")
+        return 1.0 / self.reset_probability
+
+
+__all__ = [
+    "FullVersion",
+    "IncrementResult",
+    "StealthVersionPolicy",
+    "STEALTH_BITS",
+    "UV_BITS",
+    "STEALTH_SPACE",
+    "UV_SPACE",
+]

@@ -1,0 +1,23 @@
+"""Functional cryptography substrate.
+
+The paper relies on AES-XTS / AES-CTR block encryption, keyed MACs, and a
+DRAM-based true random number generator (D-RaNGe).  This package provides
+functional equivalents built on Python's ``hashlib``: they have the correct
+*semantics* (deterministic keyed permutation, nonce sensitivity, MAC binding,
+avalanche behaviour) which is what the security and systems experiments need,
+without claiming cryptographic strength.
+"""
+
+from repro.crypto.cipher import BlockCipher, XtsCipher, CtrCipher, CipherText
+from repro.crypto.mac import MacEngine, MacTag
+from repro.crypto.rng import DRangeRng
+
+__all__ = [
+    "BlockCipher",
+    "XtsCipher",
+    "CtrCipher",
+    "CipherText",
+    "MacEngine",
+    "MacTag",
+    "DRangeRng",
+]

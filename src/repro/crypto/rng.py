@@ -1,0 +1,86 @@
+"""Model of the D-RaNGe DRAM-based true random number generator.
+
+Toleo's controller uses D-RaNGe [Kim et al., HPCA 2019] as its source of
+randomness for stealth-version re-initialisation (Section 5).  D-RaNGe
+harvests entropy from DRAM cells that fail under reduced activation latency.
+This model reproduces its interface and throughput characteristics: random
+bits are produced from a set of "RNG cells" at a bounded rate, and the
+consumer can query how many DRAM accesses were spent harvesting entropy.
+
+For reproducibility the entropy source is a seeded PRNG; the class otherwise
+behaves like the hardware block (fixed bits per access, optional throughput
+accounting).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class RngStats:
+    """Counters describing RNG activity."""
+
+    bits_produced: int = 0
+    dram_accesses: int = 0
+
+
+class DRangeRng:
+    """DRAM-based RNG with per-access bit yield and accounting.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the underlying PRNG (reproducibility).
+    bits_per_access:
+        How many random bits one DRAM access with reduced latency yields.
+        D-RaNGe reports on the order of 4 RNG cells per access; we default
+        to 4 bits per access.
+    """
+
+    def __init__(self, seed: int | None = None, bits_per_access: int = 4) -> None:
+        if bits_per_access <= 0:
+            raise ValueError("bits_per_access must be positive")
+        self._rng = random.Random(seed)
+        self._bits_per_access = bits_per_access
+        self.stats = RngStats()
+
+    def random_bits(self, bits: int) -> int:
+        """Return a uniformly random integer of ``bits`` bits."""
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        accesses = (bits + self._bits_per_access - 1) // self._bits_per_access
+        self.stats.dram_accesses += accesses
+        self.stats.bits_produced += bits
+        return self._rng.getrandbits(bits)
+
+    def random_below(self, upper: int) -> int:
+        """Return a uniformly random integer in ``[0, upper)``."""
+        if upper <= 0:
+            raise ValueError("upper must be positive")
+        bits = max(1, upper.bit_length())
+        while True:
+            value = self.random_bits(bits)
+            if value < upper:
+                return value
+
+    def bernoulli(self, probability: float) -> bool:
+        """Return True with the given probability.
+
+        Used for the stealth-version reset decision (p = 2^-20 per increment).
+        The decision consumes entropy through :meth:`random_bits` so the
+        harvesting cost is accounted for.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if probability == 0.0:
+            return False
+        if probability == 1.0:
+            return True
+        # 40 bits of precision is ample for p = 2^-20.
+        draw = self.random_bits(40)
+        return draw < probability * (1 << 40)
+
+
+__all__ = ["DRangeRng", "RngStats"]

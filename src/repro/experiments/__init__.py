@@ -1,0 +1,38 @@
+"""Experiment harnesses: one module per table and figure in the paper."""
+
+from repro.experiments import (
+    table1,
+    table2,
+    table3,
+    table4,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    security62,
+)
+from repro.experiments.harness import run_benchmarks, DEFAULT_BENCHMARKS, QUICK_BENCHMARKS
+from repro.experiments.report import format_table, format_percentage
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "security62",
+    "run_benchmarks",
+    "DEFAULT_BENCHMARKS",
+    "QUICK_BENCHMARKS",
+    "format_table",
+    "format_percentage",
+]

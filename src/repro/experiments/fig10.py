@@ -1,0 +1,84 @@
+"""Figure 10: pages classified by their Trip format.
+
+The paper reports 92 % of pages flat on average (7.5 % uneven, 0.32 % full),
+with fmi the outlier at ~33 % uneven and the graph kernels at 7-15 %
+uneven/full.  Like the paper, this experiment uses the "cache-only" long-run
+methodology: the benchmark's write stream is replayed directly into the Trip
+page table (no data-cache filtering), which measures the steady-state
+representation mix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.trip import TripFormat
+from repro.experiments.harness import SpaceStudyResult, run_space_study
+from repro.experiments.report import arithmetic_mean, format_percentage, format_table
+
+
+def compute(study: Dict[str, SpaceStudyResult]) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for bench, result in study.items():
+        counts = result.format_counts
+        total = sum(counts.values())
+        if total == 0:
+            continue
+        rows.append(
+            {
+                "bench": bench,
+                "pages": total,
+                "flat": round(counts[TripFormat.FLAT] / total, 4),
+                "uneven": round(counts[TripFormat.UNEVEN] / total, 4),
+                "full": round(counts[TripFormat.FULL] / total, 4),
+            }
+        )
+    return rows
+
+
+def averages(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    return {
+        fmt: arithmetic_mean(float(r[fmt]) for r in rows)
+        for fmt in ("flat", "uneven", "full")
+    }
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.001,
+    num_accesses: int = 150_000,
+) -> List[Dict[str, object]]:
+    study = run_space_study(benchmarks, scale=scale, num_accesses=num_accesses)
+    return compute(study)
+
+
+def render(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.001,
+    num_accesses: int = 150_000,
+) -> str:
+    rows = run(benchmarks, scale=scale, num_accesses=num_accesses)
+    display = [
+        {
+            "bench": r["bench"],
+            "pages": r["pages"],
+            "flat": format_percentage(float(r["flat"])),
+            "uneven": format_percentage(float(r["uneven"])),
+            "full": format_percentage(float(r["full"]), decimals=2),
+        }
+        for r in rows
+    ]
+    avg = averages(rows)
+    display.append(
+        {
+            "bench": "average",
+            "pages": "",
+            "flat": format_percentage(avg["flat"]),
+            "uneven": format_percentage(avg["uneven"]),
+            "full": format_percentage(avg["full"], decimals=2),
+        }
+    )
+    return format_table(display, title="Figure 10: Pages classified by Trip format")
+
+
+__all__ = ["compute", "averages", "run", "render"]

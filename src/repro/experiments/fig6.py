@@ -1,0 +1,86 @@
+"""Figure 6: execution-time overhead of CI, Toleo and InvisiMem vs NoProtect.
+
+The paper reports CI averaging ~18 % overhead (higher for bandwidth-bound
+workloads), Toleo adding only another 1-2 % for freshness (except the
+latency-sensitive memcached), and InvisiMem averaging ~29 %.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.harness import SuiteResults, run_benchmarks
+from repro.experiments.report import arithmetic_mean, format_percentage, format_table
+from repro.sim.configs import ProtectionMode
+
+OVERHEAD_MODES = (ProtectionMode.CI, ProtectionMode.TOLEO, ProtectionMode.INVISIMEM)
+
+
+def compute(suite: SuiteResults) -> List[Dict[str, object]]:
+    """Per-benchmark overheads (fractions) for each protected configuration."""
+    rows: List[Dict[str, object]] = []
+    for bench, results in suite.items():
+        row: Dict[str, object] = {"bench": bench}
+        for mode in OVERHEAD_MODES:
+            if mode in results:
+                row[mode.value] = round(results[mode].overhead, 4)
+        rows.append(row)
+    return rows
+
+
+def averages(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """Suite-average overhead per configuration."""
+    out: Dict[str, float] = {}
+    for mode in OVERHEAD_MODES:
+        values = [float(row[mode.value]) for row in rows if mode.value in row]
+        out[mode.value] = arithmetic_mean(values)
+    return out
+
+
+def toleo_increment_over_ci(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """The freshness increment: Toleo overhead minus CI overhead per benchmark."""
+    out = {}
+    for row in rows:
+        if ProtectionMode.CI.value in row and ProtectionMode.TOLEO.value in row:
+            out[str(row["bench"])] = float(row[ProtectionMode.TOLEO.value]) - float(
+                row[ProtectionMode.CI.value]
+            )
+    return out
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.002,
+    num_accesses: int = 60_000,
+) -> List[Dict[str, object]]:
+    suite = run_benchmarks(benchmarks, scale=scale, num_accesses=num_accesses)
+    return compute(suite)
+
+
+def render(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.002,
+    num_accesses: int = 60_000,
+) -> str:
+    rows = run(benchmarks, scale=scale, num_accesses=num_accesses)
+    display_rows = [
+        {
+            "bench": row["bench"],
+            **{
+                mode.value: format_percentage(float(row[mode.value]))
+                for mode in OVERHEAD_MODES
+                if mode.value in row
+            },
+        }
+        for row in rows
+    ]
+    avg = averages(rows)
+    display_rows.append(
+        {"bench": "average", **{k: format_percentage(v) for k, v in avg.items()}}
+    )
+    return format_table(
+        display_rows, title="Figure 6: Execution time overhead vs NoProtect"
+    )
+
+
+__all__ = ["compute", "averages", "toleo_increment_over_ci", "run", "render", "OVERHEAD_MODES"]

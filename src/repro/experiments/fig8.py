@@ -1,0 +1,72 @@
+"""Figure 8: memory bandwidth overhead (bytes fetched per instruction).
+
+For every benchmark and configuration the figure stacks bytes/instruction by
+category: data, MAC+UV metadata, stealth versions and (for InvisiMem) dummy
+packets.  The paper's headline observations: MAC traffic dominates the CI
+overhead for poor-spatial-locality workloads, stealth traffic is negligible
+(~1-2 % even for pr), and InvisiMem adds dummy traffic on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.harness import SuiteResults, run_benchmarks
+from repro.experiments.report import format_table
+from repro.sim.configs import EVALUATED_MODES, ProtectionMode
+
+
+def compute(suite: SuiteResults) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for bench, results in suite.items():
+        for mode in EVALUATED_MODES:
+            result = results.get(mode)
+            if result is None:
+                continue
+            per_instr = result.bytes_per_instruction
+            rows.append(
+                {
+                    "bench": bench,
+                    "mode": mode.value,
+                    "data": round(per_instr["data"], 4),
+                    "mac_uv": round(per_instr["mac_uv"], 4),
+                    "stealth": round(per_instr["stealth"], 4),
+                    "dummy": round(per_instr["dummy"], 4),
+                    "total": round(sum(per_instr.values()), 4),
+                }
+            )
+    return rows
+
+
+def stealth_traffic_fraction(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """Stealth bytes as a fraction of total traffic in the Toleo configuration."""
+    out = {}
+    for row in rows:
+        if row["mode"] == ProtectionMode.TOLEO.value and float(row["total"]) > 0:
+            out[str(row["bench"])] = float(row["stealth"]) / float(row["total"])
+    return out
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.002,
+    num_accesses: int = 60_000,
+) -> List[Dict[str, object]]:
+    suite = run_benchmarks(benchmarks, scale=scale, num_accesses=num_accesses)
+    return compute(suite)
+
+
+def render(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.002,
+    num_accesses: int = 60_000,
+) -> str:
+    rows = run(benchmarks, scale=scale, num_accesses=num_accesses)
+    return format_table(
+        rows,
+        columns=["bench", "mode", "data", "mac_uv", "stealth", "dummy", "total"],
+        title="Figure 8: Bytes fetched per instruction by category",
+    )
+
+
+__all__ = ["compute", "stealth_traffic_fraction", "run", "render"]

@@ -1,0 +1,146 @@
+"""Shared driver that runs the benchmark suite once and feeds every figure.
+
+All the performance figures (6-9) and space figures (10-12) are projections
+of the same per-(benchmark, mode) simulation results, so the harness exposes
+one entry point, :func:`run_benchmarks`, with a module-level cache keyed by
+the run parameters.  The figure modules accept either a precomputed suite or
+the parameters to produce one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.configs import EVALUATED_MODES, ProtectionMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.toleo import ToleoDevice
+    from repro.core.trip import TripFormat
+from repro.sim.engine import run_suite
+from repro.sim.results import SimulationResult
+from repro.workloads.registry import WORKLOAD_NAMES
+
+SuiteResults = Dict[str, Dict[ProtectionMode, SimulationResult]]
+
+#: All twelve paper benchmarks.
+DEFAULT_BENCHMARKS: Tuple[str, ...] = tuple(WORKLOAD_NAMES)
+
+#: A small representative subset (one per category) used by the quick
+#: benchmark targets so a full run stays under a few seconds.
+QUICK_BENCHMARKS: Tuple[str, ...] = ("bsw", "pr", "llama2-gen", "memcached")
+
+_CACHE: Dict[Tuple, SuiteResults] = {}
+
+
+def run_benchmarks(
+    benchmarks: Optional[Sequence[str]] = None,
+    modes: Sequence[ProtectionMode] = EVALUATED_MODES,
+    scale: float = 0.002,
+    num_accesses: int = 60_000,
+    seed: int = 1234,
+    use_cache: bool = True,
+) -> SuiteResults:
+    """Run (or fetch from cache) the benchmark suite simulations."""
+    names = tuple(benchmarks) if benchmarks is not None else QUICK_BENCHMARKS
+    key = (names, tuple(modes), scale, num_accesses, seed)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    results = run_suite(
+        names, modes=modes, scale=scale, num_accesses=num_accesses, seed=seed
+    )
+    if use_cache:
+        _CACHE[key] = results
+    return results
+
+
+def clear_cache() -> None:
+    """Drop all cached suite results (used by tests)."""
+    _CACHE.clear()
+    _SPACE_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Space study (Figures 10-12, Table 4)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SpaceStudyResult:
+    """Outcome of replaying one benchmark's write stream into a Toleo device.
+
+    Mirrors the paper's "cache-only long simulation" methodology: every write
+    in the trace updates the Trip page table directly, which measures the
+    steady-state version-representation mix without the detailed performance
+    model filtering writes through the data caches.
+    """
+
+    benchmark: str
+    device: "ToleoDevice"
+    footprint_bytes: int
+    timeline: List[Dict[str, int]]
+
+    @property
+    def format_counts(self) -> Dict["TripFormat", int]:
+        return self.device.table.format_counts()
+
+    @property
+    def usage_bytes(self) -> Dict[str, int]:
+        return self.device.usage_breakdown()
+
+
+_SPACE_CACHE: Dict[Tuple, Dict[str, SpaceStudyResult]] = {}
+
+
+def run_space_study(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.001,
+    num_accesses: int = 150_000,
+    seed: int = 1234,
+    timeline_samples: int = 40,
+    use_cache: bool = True,
+) -> Dict[str, SpaceStudyResult]:
+    """Replay each benchmark's write stream directly into a Toleo device."""
+    from repro.core.toleo import ToleoDevice
+    from repro.crypto.rng import DRangeRng
+    from repro.memory.address import block_index_in_page, page_number
+    from repro.workloads.registry import get_workload
+
+    names = tuple(benchmarks) if benchmarks is not None else QUICK_BENCHMARKS
+    key = (names, scale, num_accesses, seed, timeline_samples)
+    if use_cache and key in _SPACE_CACHE:
+        return _SPACE_CACHE[key]
+
+    results: Dict[str, SpaceStudyResult] = {}
+    for name in names:
+        workload = get_workload(name, scale=scale, seed=seed)
+        device = ToleoDevice(
+            config=None, rng=DRangeRng(seed=seed), strict_capacity=False
+        )
+        timeline: List[Dict[str, int]] = []
+        sample_every = max(1, num_accesses // max(1, timeline_samples))
+        for i, access in enumerate(workload.generate(num_accesses)):
+            if i % sample_every == 0:
+                timeline.append(device.snapshot_usage())
+            if access.is_write:
+                device.update(page_number(access.address), block_index_in_page(access.address))
+        timeline.append(device.snapshot_usage())
+        results[name] = SpaceStudyResult(
+            benchmark=name,
+            device=device,
+            footprint_bytes=workload.footprint_bytes,
+            timeline=timeline,
+        )
+    if use_cache:
+        _SPACE_CACHE[key] = results
+    return results
+
+
+__all__ = [
+    "run_benchmarks",
+    "run_space_study",
+    "clear_cache",
+    "SuiteResults",
+    "SpaceStudyResult",
+    "DEFAULT_BENCHMARKS",
+    "QUICK_BENCHMARKS",
+]

@@ -1,0 +1,23 @@
+"""Physical memory substrate: addresses, DRAM/CXL devices, metadata layout,
+and the CXL IDE secure link."""
+
+from repro.memory.address import PhysicalAddress, page_number, block_index_in_page, block_address
+from repro.memory.layout import MetadataLayout, MacUvBlock
+from repro.memory.devices import DramDevice, CxlMemoryPool, MemoryRegion, RackMemory
+from repro.memory.cxl_ide import CxlIdeLink, IdeFlit, IdeIntegrityError
+
+__all__ = [
+    "PhysicalAddress",
+    "page_number",
+    "block_index_in_page",
+    "block_address",
+    "MetadataLayout",
+    "MacUvBlock",
+    "DramDevice",
+    "CxlMemoryPool",
+    "MemoryRegion",
+    "RackMemory",
+    "CxlIdeLink",
+    "IdeFlit",
+    "IdeIntegrityError",
+]

@@ -1,0 +1,130 @@
+"""Physical address, page and cache-block arithmetic.
+
+All protection machinery operates on 64-byte cache blocks grouped into 4 KB
+pages (64 blocks per page).  These helpers keep the arithmetic in one place
+and give the rest of the codebase a small vocabulary: a *page number*, a
+*block index within a page*, and a *block-aligned address*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BLOCKS_PER_PAGE, CACHE_BLOCK_BYTES, PAGE_BYTES
+
+
+def block_address(address: int, block_bytes: int = CACHE_BLOCK_BYTES) -> int:
+    """Align a byte address down to its cache block."""
+    return (address // block_bytes) * block_bytes
+
+
+def page_number(address: int, page_bytes: int = PAGE_BYTES) -> int:
+    """Page number containing a byte address."""
+    return address // page_bytes
+
+
+def block_index_in_page(
+    address: int,
+    page_bytes: int = PAGE_BYTES,
+    block_bytes: int = CACHE_BLOCK_BYTES,
+) -> int:
+    """Index (0..63) of the cache block within its page."""
+    return (address % page_bytes) // block_bytes
+
+
+@dataclass(frozen=True)
+class PhysicalAddress:
+    """A decomposed physical address.
+
+    Provides page/block views of a raw byte address plus helpers to
+    reconstruct addresses of sibling blocks within the same page.
+    """
+
+    raw: int
+    page_bytes: int = PAGE_BYTES
+    block_bytes: int = CACHE_BLOCK_BYTES
+
+    def __post_init__(self) -> None:
+        if self.raw < 0:
+            raise ValueError("address must be non-negative")
+        if self.page_bytes % self.block_bytes != 0:
+            raise ValueError("page size must be a multiple of the block size")
+
+    @property
+    def page(self) -> int:
+        return self.raw // self.page_bytes
+
+    @property
+    def page_offset(self) -> int:
+        return self.raw % self.page_bytes
+
+    @property
+    def block(self) -> int:
+        """Global block number."""
+        return self.raw // self.block_bytes
+
+    @property
+    def block_in_page(self) -> int:
+        """Block index within the page (0..blocks_per_page-1)."""
+        return self.page_offset // self.block_bytes
+
+    @property
+    def block_aligned(self) -> int:
+        """Byte address of the start of the containing cache block."""
+        return self.block * self.block_bytes
+
+    @property
+    def page_aligned(self) -> int:
+        """Byte address of the start of the containing page."""
+        return self.page * self.page_bytes
+
+    @property
+    def blocks_per_page(self) -> int:
+        return self.page_bytes // self.block_bytes
+
+    def sibling_block(self, index: int) -> "PhysicalAddress":
+        """Address of another block within the same page."""
+        if not 0 <= index < self.blocks_per_page:
+            raise IndexError(f"block index {index} out of range")
+        return PhysicalAddress(
+            raw=self.page_aligned + index * self.block_bytes,
+            page_bytes=self.page_bytes,
+            block_bytes=self.block_bytes,
+        )
+
+    @classmethod
+    def from_page_block(
+        cls,
+        page: int,
+        block_in_page: int,
+        page_bytes: int = PAGE_BYTES,
+        block_bytes: int = CACHE_BLOCK_BYTES,
+    ) -> "PhysicalAddress":
+        """Build a block-aligned address from (page, in-page block index)."""
+        blocks_per_page = page_bytes // block_bytes
+        if not 0 <= block_in_page < blocks_per_page:
+            raise IndexError(f"block index {block_in_page} out of range")
+        return cls(
+            raw=page * page_bytes + block_in_page * block_bytes,
+            page_bytes=page_bytes,
+            block_bytes=block_bytes,
+        )
+
+
+def iter_page_blocks(page: int, page_bytes: int = PAGE_BYTES, block_bytes: int = CACHE_BLOCK_BYTES):
+    """Yield the block-aligned addresses of every block in a page."""
+    base = page * page_bytes
+    for i in range(page_bytes // block_bytes):
+        yield base + i * block_bytes
+
+
+BLOCKS_IN_PAGE = BLOCKS_PER_PAGE
+
+__all__ = [
+    "PhysicalAddress",
+    "block_address",
+    "page_number",
+    "block_index_in_page",
+    "iter_page_blocks",
+    "BLOCKS_IN_PAGE",
+]

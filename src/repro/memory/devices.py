@@ -1,0 +1,182 @@
+"""Memory device models: local DDR4 DRAM, the CXL-attached memory pool, and
+the rack-level composition of the two.
+
+The paper's node (Table 3) has 768 GB of local DDR4-3200 across three
+channels plus a 1 TB slice of a shared 16 TB CXL 2.0 memory pool reached over
+an x8 PCIe 5.0 link with a re-timer (12.7 GB/s, 95 ns added latency).  Pages
+are mapped to local DRAM or the pool proportionally to bandwidth to maximise
+aggregate bandwidth.
+
+The devices here are latency/bandwidth cost models: given an access they
+return the time it takes and account the bytes moved.  They do not store
+data -- :class:`repro.memory.layout.MetadataLayout` does that.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import CACHE_BLOCK_BYTES, GIB, SystemConfig, TIB
+
+
+class MemoryRegion(enum.Enum):
+    """Which physical device backs an address."""
+
+    LOCAL_DRAM = "local_dram"
+    CXL_POOL = "cxl_pool"
+
+
+@dataclass
+class DeviceStats:
+    """Traffic counters for one memory device."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass
+class DramDevice:
+    """A DDR4-class local memory device."""
+
+    name: str = "local-dram"
+    capacity_bytes: int = 768 * GIB
+    channels: int = 3
+    bandwidth_gbps: float = 76.8
+    latency_ns: float = 60.0
+    stats: DeviceStats = field(default_factory=DeviceStats)
+
+    def access(self, nbytes: int = CACHE_BLOCK_BYTES, is_write: bool = False) -> float:
+        """Account one access and return its latency in nanoseconds."""
+        if is_write:
+            self.stats.writes += 1
+            self.stats.bytes_written += nbytes
+        else:
+            self.stats.reads += 1
+            self.stats.bytes_read += nbytes
+        return self.latency_ns
+
+    def transfer_time_ns(self, nbytes: int) -> float:
+        """Serialization time of a transfer at the device bandwidth."""
+        return nbytes / (self.bandwidth_gbps * 1e9) * 1e9
+
+
+@dataclass
+class CxlMemoryPool:
+    """A slice of the shared CXL 2.0 memory pool.
+
+    Latency adds the CXL link (with re-timer) to the pool DRAM's own access
+    time; bandwidth is the x8 link bandwidth.
+    """
+
+    name: str = "cxl-pool"
+    capacity_bytes: int = 1 * TIB
+    link_bandwidth_gbps: float = 12.7
+    link_latency_ns: float = 95.0
+    dram_latency_ns: float = 60.0
+    stats: DeviceStats = field(default_factory=DeviceStats)
+
+    @property
+    def latency_ns(self) -> float:
+        return self.link_latency_ns + self.dram_latency_ns
+
+    def access(self, nbytes: int = CACHE_BLOCK_BYTES, is_write: bool = False) -> float:
+        if is_write:
+            self.stats.writes += 1
+            self.stats.bytes_written += nbytes
+        else:
+            self.stats.reads += 1
+            self.stats.bytes_read += nbytes
+        return self.latency_ns
+
+    def transfer_time_ns(self, nbytes: int) -> float:
+        return nbytes / (self.link_bandwidth_gbps * 1e9) * 1e9
+
+
+class RackMemory:
+    """Composes local DRAM and the CXL pool behind a single access interface.
+
+    Pages are assigned to a region by hashing the page number against the
+    bandwidth-proportional split the paper uses, so a given page is always
+    served by the same device (deterministic, no RNG needed).
+    """
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        cfg = config if config is not None else SystemConfig()
+        self.config = cfg
+        self.local = DramDevice(
+            capacity_bytes=cfg.local_dram_bytes,
+            channels=cfg.local_dram_channels,
+            bandwidth_gbps=cfg.local_dram_bandwidth_gbps,
+            latency_ns=cfg.local_dram_latency_ns,
+        )
+        self.pool = CxlMemoryPool(
+            capacity_bytes=cfg.cxl_pool_bytes,
+            link_bandwidth_gbps=cfg.cxl_link_bandwidth_gbps,
+            link_latency_ns=cfg.cxl_link_latency_ns,
+            dram_latency_ns=cfg.local_dram_latency_ns,
+        )
+        # Map pages to regions with a fixed modulus so the split matches the
+        # bandwidth-proportional fraction without randomness.
+        self._cxl_period = max(2, round(1.0 / max(cfg.cxl_fraction, 1e-9)))
+
+    def region_of(self, address: int) -> MemoryRegion:
+        page = address // self.config.toleo.page_bytes
+        if page % self._cxl_period == 0:
+            return MemoryRegion.CXL_POOL
+        return MemoryRegion.LOCAL_DRAM
+
+    def device_for(self, address: int):
+        return self.pool if self.region_of(address) is MemoryRegion.CXL_POOL else self.local
+
+    def access(
+        self,
+        address: int,
+        nbytes: int = CACHE_BLOCK_BYTES,
+        is_write: bool = False,
+    ) -> float:
+        """Access the device backing ``address``; returns latency in ns."""
+        return self.device_for(address).access(nbytes=nbytes, is_write=is_write)
+
+    # -- accounting ---------------------------------------------------------
+
+    def stats_by_region(self) -> Dict[MemoryRegion, DeviceStats]:
+        return {
+            MemoryRegion.LOCAL_DRAM: self.local.stats,
+            MemoryRegion.CXL_POOL: self.pool.stats,
+        }
+
+    def total_bytes_moved(self) -> int:
+        return self.local.stats.total_bytes + self.pool.stats.total_bytes
+
+    def total_accesses(self) -> int:
+        return self.local.stats.accesses + self.pool.stats.accesses
+
+    def average_latency_ns(self) -> float:
+        total = self.total_accesses()
+        if total == 0:
+            return 0.0
+        return (
+            self.local.stats.accesses * self.local.latency_ns
+            + self.pool.stats.accesses * self.pool.latency_ns
+        ) / total
+
+
+__all__ = [
+    "MemoryRegion",
+    "DeviceStats",
+    "DramDevice",
+    "CxlMemoryPool",
+    "RackMemory",
+]

@@ -1,0 +1,196 @@
+"""Metadata memory layout: MAC blocks with co-located upper versions.
+
+Figure 4 of the paper packs eight 56-bit MACs into one 64-byte MAC block and
+uses the spare space to store the page's shared upper version (UV), so a
+single metadata fetch brings both the MACs of eight adjacent data blocks and
+the UV needed to reconstruct full versions.  The rack's 28 TB physical space
+is partitioned into 24.8 TB of ciphertext data and 3.2 TB of MAC+UV blocks.
+
+This module provides the functional storage for that layout: ciphertext data
+blocks, MAC tags, and per-page upper versions, all held in conventional
+(untrusted) memory.  The adversary model therefore allows this storage to be
+tampered with or rolled back -- which the security tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import (
+    CACHE_BLOCK_BYTES,
+    MACS_PER_BLOCK,
+    MAC_BITS,
+    PAGE_BYTES,
+    TIB,
+)
+from repro.crypto.mac import MacTag
+from repro.memory.address import PhysicalAddress
+
+
+@dataclass
+class MacUvBlock:
+    """One 64-byte metadata block: eight MAC slots plus the shared UV."""
+
+    macs: Dict[int, MacTag] = field(default_factory=dict)
+    upper_version: int = 0
+
+    def slot(self, data_block: int) -> int:
+        """MAC slot (0..7) used by a global data-block number."""
+        return data_block % MACS_PER_BLOCK
+
+    @property
+    def spare_bits(self) -> int:
+        """Unused bits in the block after eight 56-bit MACs (64 bits)."""
+        return CACHE_BLOCK_BYTES * 8 - MACS_PER_BLOCK * MAC_BITS
+
+
+@dataclass(frozen=True)
+class LayoutPartition:
+    """Byte budget of the data vs metadata partition of physical memory."""
+
+    total_bytes: int
+    data_bytes: int
+    metadata_bytes: int
+
+    @property
+    def metadata_fraction(self) -> float:
+        return self.metadata_bytes / self.total_bytes
+
+
+def partition_physical_memory(total_bytes: int = 28 * TIB) -> LayoutPartition:
+    """Split physical memory into data and MAC/UV regions.
+
+    One 64-byte MAC block covers eight 64-byte data blocks, so metadata is
+    1/9 of the combined footprint (the paper rounds this to 24.8 TB data +
+    3.2 TB metadata for a 28 TB rack).
+    """
+    metadata = total_bytes // (MACS_PER_BLOCK + 1)
+    return LayoutPartition(
+        total_bytes=total_bytes,
+        data_bytes=total_bytes - metadata,
+        metadata_bytes=metadata,
+    )
+
+
+class MetadataLayout:
+    """Functional backing store for ciphertext, MACs and upper versions.
+
+    All three live in *untrusted* conventional memory.  The store is sparse:
+    blocks and pages are materialised on first write.  Helper methods expose
+    the adversarial operations (overwrite, rollback) used by the security
+    experiments.
+    """
+
+    def __init__(self, page_bytes: int = PAGE_BYTES, block_bytes: int = CACHE_BLOCK_BYTES) -> None:
+        self.page_bytes = page_bytes
+        self.block_bytes = block_bytes
+        self._data: Dict[int, bytes] = {}          # block-aligned addr -> ciphertext
+        self._mac_blocks: Dict[int, MacUvBlock] = {}  # mac-block index -> MacUvBlock
+        self._page_uv: Dict[int, int] = {}          # page -> upper version
+
+    # -- data blocks -------------------------------------------------------
+
+    def write_data(self, address: int, ciphertext: bytes) -> None:
+        addr = PhysicalAddress(address, self.page_bytes, self.block_bytes)
+        self._data[addr.block_aligned] = bytes(ciphertext)
+
+    def read_data(self, address: int) -> Optional[bytes]:
+        addr = PhysicalAddress(address, self.page_bytes, self.block_bytes)
+        return self._data.get(addr.block_aligned)
+
+    # -- MAC blocks ---------------------------------------------------------
+
+    def _mac_block_for(self, address: int) -> MacUvBlock:
+        data_block = address // self.block_bytes
+        mac_block_index = data_block // MACS_PER_BLOCK
+        block = self._mac_blocks.get(mac_block_index)
+        if block is None:
+            block = MacUvBlock()
+            self._mac_blocks[mac_block_index] = block
+        return block
+
+    def write_mac(self, address: int, tag: MacTag) -> None:
+        block = self._mac_block_for(address)
+        data_block = address // self.block_bytes
+        block.macs[block.slot(data_block)] = tag
+
+    def read_mac(self, address: int) -> Optional[MacTag]:
+        block = self._mac_block_for(address)
+        data_block = address // self.block_bytes
+        return block.macs.get(block.slot(data_block))
+
+    # -- upper versions -----------------------------------------------------------
+
+    def upper_version(self, page: int) -> int:
+        """The page's shared UV (0 until first written)."""
+        return self._page_uv.get(page, 0)
+
+    def set_upper_version(self, page: int, value: int) -> None:
+        if value < 0:
+            raise ValueError("upper version must be non-negative")
+        self._page_uv[page] = value
+        # Mirror the UV into the page's MAC blocks (co-location of Figure 4).
+        base = page * self.page_bytes
+        for mac_index in self._page_mac_block_indices(page):
+            block = self._mac_blocks.get(mac_index)
+            if block is None:
+                block = MacUvBlock()
+                self._mac_blocks[mac_index] = block
+            block.upper_version = value
+        del base
+
+    def increment_upper_version(self, page: int) -> int:
+        new = self.upper_version(page) + 1
+        self.set_upper_version(page, new)
+        return new
+
+    def _page_mac_block_indices(self, page: int) -> Tuple[int, ...]:
+        first_block = (page * self.page_bytes) // self.block_bytes
+        blocks_per_page = self.page_bytes // self.block_bytes
+        first_mac = first_block // MACS_PER_BLOCK
+        last_mac = (first_block + blocks_per_page - 1) // MACS_PER_BLOCK
+        return tuple(range(first_mac, last_mac + 1))
+
+    # -- adversarial operations (untrusted memory) --------------------------------
+
+    def snapshot(self, address: int) -> Tuple[Optional[bytes], Optional[MacTag], int]:
+        """Capture (ciphertext, MAC, UV) for later replay."""
+        addr = PhysicalAddress(address, self.page_bytes, self.block_bytes)
+        return self.read_data(address), self.read_mac(address), self.upper_version(addr.page)
+
+    def replay(self, address: int, snapshot: Tuple[Optional[bytes], Optional[MacTag], int]) -> None:
+        """Roll a block (and its page's UV) back to an earlier snapshot."""
+        data, mac, uv = snapshot
+        addr = PhysicalAddress(address, self.page_bytes, self.block_bytes)
+        if data is not None:
+            self.write_data(address, data)
+        if mac is not None:
+            self.write_mac(address, mac)
+        self.set_upper_version(addr.page, uv)
+
+    def tamper_data(self, address: int, new_ciphertext: bytes) -> None:
+        """Overwrite a ciphertext block without updating its MAC."""
+        self.write_data(address, new_ciphertext)
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def data_blocks_stored(self) -> int:
+        return len(self._data)
+
+    @property
+    def mac_blocks_stored(self) -> int:
+        return len(self._mac_blocks)
+
+    def metadata_bytes(self) -> int:
+        """Bytes of MAC+UV metadata materialised so far."""
+        return self.mac_blocks_stored * self.block_bytes
+
+
+__all__ = [
+    "MetadataLayout",
+    "MacUvBlock",
+    "LayoutPartition",
+    "partition_physical_memory",
+]

@@ -1,0 +1,25 @@
+"""Adversary models and analytical security bounds (Section 6)."""
+
+from repro.security.adversary import (
+    ReplayAttacker,
+    TamperAttacker,
+    TrafficAnalyzer,
+    AttackResult,
+)
+from repro.security.analysis import (
+    stealth_exhaustion_probability,
+    replay_success_probability,
+    full_version_lifetime_updates,
+    SecurityAnalysis,
+)
+
+__all__ = [
+    "ReplayAttacker",
+    "TamperAttacker",
+    "TrafficAnalyzer",
+    "AttackResult",
+    "stealth_exhaustion_probability",
+    "replay_success_probability",
+    "full_version_lifetime_updates",
+    "SecurityAnalysis",
+]

@@ -1,0 +1,120 @@
+"""Concrete adversaries exercising the paper's threat model (Section 2.1).
+
+The adversary controls the OS/hypervisor and can physically probe and tamper
+with off-chip traffic on the DDR and CXL channels, but cannot see inside
+silicon packages (the CPU or the Toleo device) or break the CXL IDE session.
+Three attacks are modelled:
+
+* :class:`ReplayAttacker` -- snapshots (ciphertext, MAC, UV) for an address
+  and later rolls conventional memory back to that snapshot, hoping the
+  current stealth version matches the stale one.
+* :class:`TamperAttacker` -- overwrites ciphertext (or MAC) bytes directly.
+* :class:`TrafficAnalyzer` -- watches the ciphertexts produced for writes and
+  tries to detect same-value writes to the same address, the weakness that
+  makes Scalable SGX only "partially" confidential (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.protection import KillSwitchError, MemoryProtectionEngine
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of one attack attempt."""
+
+    succeeded: bool
+    detected: bool
+    detail: str = ""
+
+
+class ReplayAttacker:
+    """Rolls untrusted memory back to an earlier snapshot (replay attack)."""
+
+    def __init__(self, engine: MemoryProtectionEngine) -> None:
+        self.engine = engine
+        self._snapshots: Dict[int, Tuple] = {}
+
+    def snapshot(self, address: int) -> None:
+        """Record the current (ciphertext, MAC, UV) for a later replay."""
+        self._snapshots[address] = self.engine.memory.snapshot(address)
+
+    def replay(self, address: int, expected_plaintext: Optional[bytes] = None) -> AttackResult:
+        """Roll the block back and attempt to have the victim read it.
+
+        The attack *succeeds* only if the read completes without tripping the
+        kill switch **and** returns the stale plaintext the attacker replayed
+        (not garbage).  With freshness protection the MAC check fails because
+        the current stealth version differs from the replayed one.
+        """
+        if address not in self._snapshots:
+            raise KeyError(f"no snapshot recorded for address {address:#x}")
+        self.engine.memory.replay(address, self._snapshots[address])
+        try:
+            plaintext = self.engine.read_block(address)
+        except KillSwitchError as exc:
+            return AttackResult(succeeded=False, detected=True, detail=str(exc))
+        if expected_plaintext is not None and plaintext != expected_plaintext:
+            return AttackResult(
+                succeeded=False,
+                detected=False,
+                detail="replayed data decrypted to garbage (stale version)",
+            )
+        return AttackResult(succeeded=True, detected=False, detail="stale data accepted")
+
+
+class TamperAttacker:
+    """Directly modifies ciphertext bytes in untrusted memory."""
+
+    def __init__(self, engine: MemoryProtectionEngine) -> None:
+        self.engine = engine
+
+    def flip_bits(self, address: int, mask: bytes = b"\xff") -> AttackResult:
+        """XOR the stored ciphertext with ``mask`` and have the victim read it."""
+        ciphertext = self.engine.memory.read_data(address)
+        if ciphertext is None:
+            raise KeyError(f"address {address:#x} has never been written")
+        tampered = bytes(
+            b ^ mask[i % len(mask)] for i, b in enumerate(ciphertext)
+        )
+        self.engine.memory.tamper_data(address, tampered)
+        try:
+            self.engine.read_block(address)
+        except KillSwitchError as exc:
+            return AttackResult(succeeded=False, detected=True, detail=str(exc))
+        return AttackResult(succeeded=True, detected=False, detail="tampered data accepted")
+
+
+@dataclass
+class TrafficAnalyzer:
+    """Observes bus ciphertexts and looks for repeated (address, ciphertext) pairs.
+
+    A deterministic cipher (Scalable SGX's AES-XTS without a nonce) produces
+    identical ciphertexts for same-value writes, letting the analyzer learn
+    when a value was rewritten unchanged.  Toleo's versioned tweak defeats
+    this: every write produces a fresh ciphertext.
+    """
+
+    observations: Dict[int, List[bytes]] = field(default_factory=dict)
+
+    def observe(self, address: int, ciphertext: bytes) -> None:
+        self.observations.setdefault(address, []).append(bytes(ciphertext))
+
+    def repeated_ciphertexts(self, address: int) -> int:
+        """Number of observed writes whose ciphertext repeats an earlier one."""
+        seen: Dict[bytes, int] = {}
+        repeats = 0
+        for ct in self.observations.get(address, []):
+            if ct in seen:
+                repeats += 1
+            seen[ct] = seen.get(ct, 0) + 1
+        return repeats
+
+    def can_infer_same_value_writes(self, address: int) -> bool:
+        return self.repeated_ciphertexts(address) > 0
+
+
+__all__ = ["ReplayAttacker", "TamperAttacker", "TrafficAnalyzer", "AttackResult"]

@@ -1,0 +1,156 @@
+"""Analytical security bounds from Section 6 of the paper.
+
+Three quantities are derived:
+
+* the probability that a 27-bit stealth version space is exhausted between
+  two upper-version increments (full-version collision), which the paper
+  bounds at ~1.7e-19 over a lifetime of 2^56 updates to one address;
+* the single-shot success probability of a replay attack against a
+  confidential ``b``-bit stealth version (2^-b, i.e. 2^-27 by default); and
+* the non-repetition lifetime argument inherited from Client SGX (2^56
+  serial updates take ~8 years of continuous processing).
+
+A Monte-Carlo check of the reset policy is also provided so the analytical
+bound can be sanity-checked empirically at smaller parameter values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import (
+    SGX_VERSION_BITS,
+    STEALTH_RESET_PROBABILITY,
+    STEALTH_VERSION_BITS,
+)
+from repro.core.versions import StealthVersionPolicy
+from repro.crypto.rng import DRangeRng
+
+
+def replay_success_probability(stealth_bits: int = STEALTH_VERSION_BITS) -> float:
+    """Probability a single blind replay matches the current stealth version.
+
+    Because stealth versions are confidential end to end, the adversary can
+    do no better than guessing; the kill switch limits them to one attempt.
+    """
+    if stealth_bits <= 0:
+        raise ValueError("stealth_bits must be positive")
+    return 2.0 ** -stealth_bits
+
+
+def stealth_exhaustion_probability(
+    stealth_bits: int = STEALTH_VERSION_BITS,
+    reset_probability: float = STEALTH_RESET_PROBABILITY,
+    lifetime_updates_log2: int = SGX_VERSION_BITS,
+) -> float:
+    """Probability that some stealth interval sees no reset (Section 6.2).
+
+    The lifetime of 2^``lifetime_updates_log2`` updates to one address is
+    divided into intervals of 2^(stealth_bits - 1) updates.  A full-version
+    collision requires 2^stealth_bits consecutive updates without a reset,
+    which in turn requires at least one interval with no reset at all.
+
+    With the paper's parameters (27-bit stealth, p = 2^-20, 2^56 updates)
+    the per-interval no-reset probability is (1 - 2^-20)^(2^26) ~= 1.6e-26
+    and the union bound over 2^30 intervals gives ~1.7e-19.
+    """
+    if not 0.0 < reset_probability < 1.0:
+        raise ValueError("reset_probability must be in (0, 1)")
+    interval_updates = 2 ** (stealth_bits - 1)
+    n_intervals = 2 ** max(0, lifetime_updates_log2 - (stealth_bits - 1))
+    # Work in log space: log(1-p) * interval is a very small exponent.
+    log_no_reset = interval_updates * math.log1p(-reset_probability)
+    p_no_reset = math.exp(log_no_reset)
+    return min(1.0, n_intervals * p_no_reset)
+
+
+def full_version_lifetime_updates(version_bits: int = SGX_VERSION_BITS) -> int:
+    """Number of serial updates a non-repeating version must survive.
+
+    Client SGX sized its 56-bit versions so that 2^56 updates -- about eight
+    years of continuous serial processing -- never repeat.  Toleo's 64-bit
+    full version inherits (and exceeds) that margin.
+    """
+    return 2 ** version_bits
+
+
+def monte_carlo_exhaustion_rate(
+    stealth_bits: int = 12,
+    reset_probability: float = 2.0 ** -6,
+    trials: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Empirical rate of stealth-space exhaustion at *reduced* parameters.
+
+    The paper's production parameters make exhaustion unobservably rare, so
+    the Monte-Carlo check runs with a much smaller stealth space and a much
+    larger reset probability and compares against the same analytical form.
+    Returns the fraction of trials in which a full wrap (space consecutive
+    increments with no reset) occurred.
+    """
+    policy = StealthVersionPolicy(
+        rng=DRangeRng(seed=seed),
+        stealth_bits=stealth_bits,
+        reset_probability=reset_probability,
+    )
+    space = policy.space
+    exhausted = 0
+    for _ in range(trials):
+        run_length = 0
+        wrapped = False
+        # One stealth interval: `space` updates.
+        for _ in range(space):
+            outcome = policy.increment(0)  # value irrelevant; we track resets
+            if outcome.reset:
+                run_length = 0
+            else:
+                run_length += 1
+                if run_length >= space:
+                    wrapped = True
+                    break
+        if wrapped or run_length >= space:
+            exhausted += 1
+    return exhausted / trials
+
+
+@dataclass(frozen=True)
+class SecurityAnalysis:
+    """A bundle of the paper's headline security numbers."""
+
+    stealth_bits: int = STEALTH_VERSION_BITS
+    reset_probability: float = STEALTH_RESET_PROBABILITY
+    lifetime_updates_log2: int = SGX_VERSION_BITS
+
+    @property
+    def replay_success(self) -> float:
+        return replay_success_probability(self.stealth_bits)
+
+    @property
+    def exhaustion_probability(self) -> float:
+        return stealth_exhaustion_probability(
+            self.stealth_bits, self.reset_probability, self.lifetime_updates_log2
+        )
+
+    @property
+    def per_interval_no_reset(self) -> float:
+        interval = 2 ** (self.stealth_bits - 1)
+        return math.exp(interval * math.log1p(-self.reset_probability))
+
+    def summary(self) -> dict:
+        return {
+            "stealth_bits": self.stealth_bits,
+            "reset_probability": self.reset_probability,
+            "replay_success_probability": self.replay_success,
+            "per_interval_no_reset_probability": self.per_interval_no_reset,
+            "full_version_collision_probability": self.exhaustion_probability,
+        }
+
+
+__all__ = [
+    "replay_success_probability",
+    "stealth_exhaustion_probability",
+    "full_version_lifetime_updates",
+    "monte_carlo_exhaustion_rate",
+    "SecurityAnalysis",
+]

@@ -1,0 +1,17 @@
+"""Trace-driven performance simulator for the four evaluated configurations."""
+
+from repro.sim.configs import ProtectionMode, ModeParameters, MODE_PARAMETERS
+from repro.sim.results import SimulationResult, LatencyBreakdown, TrafficBreakdown
+from repro.sim.engine import SimulationEngine, compare_modes, run_suite
+
+__all__ = [
+    "ProtectionMode",
+    "ModeParameters",
+    "MODE_PARAMETERS",
+    "SimulationResult",
+    "LatencyBreakdown",
+    "TrafficBreakdown",
+    "SimulationEngine",
+    "compare_modes",
+    "run_suite",
+]

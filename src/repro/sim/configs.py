@@ -1,0 +1,110 @@
+"""The four evaluated protection configurations (Section 7).
+
+* ``NOPROTECT`` -- no memory protection; the baseline all overheads are
+  reported against.
+* ``CI`` -- confidentiality (AES-XTS) plus integrity (MACs), equivalent to
+  Scalable SGX's TME with an added integrity guarantee.  No freshness.
+* ``TOLEO`` -- CI plus freshness through the CXL-attached Toleo device.
+* ``INVISIMEM`` -- the InvisiMem-far all-smart-memory design, which provides
+  CIF plus address/timing side-channel defences at the cost of double
+  encryption, symmetric packets and dummy traffic.
+
+``C`` (encryption only) is also provided because Figure 9's latency breakdown
+separates the C and I components.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.baselines.invisimem import InvisiMemModel
+
+
+class ProtectionMode(enum.Enum):
+    """Which protection configuration the simulator models."""
+
+    NOPROTECT = "NoProtect"
+    C = "C"
+    CI = "CI"
+    TOLEO = "Toleo"
+    INVISIMEM = "InvisiMem"
+
+    @property
+    def encrypts(self) -> bool:
+        return self is not ProtectionMode.NOPROTECT
+
+    @property
+    def has_integrity(self) -> bool:
+        return self in (ProtectionMode.CI, ProtectionMode.TOLEO, ProtectionMode.INVISIMEM)
+
+    @property
+    def has_freshness(self) -> bool:
+        return self in (ProtectionMode.TOLEO, ProtectionMode.INVISIMEM)
+
+    @property
+    def uses_toleo_device(self) -> bool:
+        return self is ProtectionMode.TOLEO
+
+    @property
+    def is_invisimem(self) -> bool:
+        return self is ProtectionMode.INVISIMEM
+
+
+@dataclass(frozen=True)
+class ModeParameters:
+    """Per-mode cost-model parameters applied by the simulation engine."""
+
+    mode: ProtectionMode
+    aes_on_read: bool = False
+    mac_traffic: bool = False
+    stealth_traffic: bool = False
+    invisimem: InvisiMemModel | None = None
+
+    @property
+    def label(self) -> str:
+        return self.mode.value
+
+
+MODE_PARAMETERS = {
+    ProtectionMode.NOPROTECT: ModeParameters(ProtectionMode.NOPROTECT),
+    ProtectionMode.C: ModeParameters(ProtectionMode.C, aes_on_read=True),
+    ProtectionMode.CI: ModeParameters(
+        ProtectionMode.CI, aes_on_read=True, mac_traffic=True
+    ),
+    ProtectionMode.TOLEO: ModeParameters(
+        ProtectionMode.TOLEO, aes_on_read=True, mac_traffic=True, stealth_traffic=True
+    ),
+    ProtectionMode.INVISIMEM: ModeParameters(
+        ProtectionMode.INVISIMEM,
+        aes_on_read=True,
+        mac_traffic=True,
+        stealth_traffic=False,
+        invisimem=InvisiMemModel(),
+    ),
+}
+
+#: The configurations compared in Figure 6 and Figure 8.
+EVALUATED_MODES = (
+    ProtectionMode.NOPROTECT,
+    ProtectionMode.CI,
+    ProtectionMode.TOLEO,
+    ProtectionMode.INVISIMEM,
+)
+
+#: The configurations in Figure 9's latency breakdown.
+LATENCY_MODES = (
+    ProtectionMode.NOPROTECT,
+    ProtectionMode.C,
+    ProtectionMode.CI,
+    ProtectionMode.TOLEO,
+    ProtectionMode.INVISIMEM,
+)
+
+__all__ = [
+    "ProtectionMode",
+    "ModeParameters",
+    "MODE_PARAMETERS",
+    "EVALUATED_MODES",
+    "LATENCY_MODES",
+]

@@ -1,0 +1,382 @@
+"""The trace-driven simulation engine.
+
+The engine replays a workload's memory-access trace through the on-chip data
+hierarchy; every LLC miss and dirty writeback then pays the memory-system and
+protection costs of the selected configuration:
+
+* a data access to local DRAM or the CXL pool,
+* AES decryption latency (C and above),
+* a MAC(+UV) block fetch when the MAC cache misses (CI and above),
+* a stealth-version fetch from Toleo over CXL IDE when both stealth caches
+  miss (Toleo), and
+* packet inflation, dummy traffic and double-encryption latency (InvisiMem).
+
+Execution time combines a fixed-CPI compute component with read-stall time
+(overlapped by a memory-level-parallelism factor) and a bandwidth-saturation
+term, which is what makes bandwidth-hungry workloads (pr, bfs, llama2-gen)
+pay more for the CI metadata traffic than compute-bound ones -- the shape of
+Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.mac_cache import MacCache
+from repro.core.config import CACHE_BLOCK_BYTES, SystemConfig
+from repro.core.toleo import ToleoDevice
+from repro.core.trip import TripFormat
+from repro.core.version_cache import StealthVersionCache
+from repro.crypto.rng import DRangeRng
+from repro.memory.address import block_index_in_page, page_number
+from repro.memory.devices import RackMemory
+from repro.sim.configs import (
+    EVALUATED_MODES,
+    MODE_PARAMETERS,
+    ModeParameters,
+    ProtectionMode,
+)
+from repro.sim.results import LatencyBreakdown, SimulationResult, TrafficBreakdown
+from repro.workloads.base import MemoryAccess, Workload
+
+
+@dataclass
+class EngineOptions:
+    """Tunable parameters of the analytical performance model."""
+
+    base_cpi: float = 0.6
+    memory_level_parallelism: float = 4.0
+    bandwidth_knee: float = 0.8
+    timeline_samples: int = 50
+    invisimem_queueing_pressure: float = 0.3
+    #: InvisiMem replaces passive DRAM with HMC2 smart-memory stacks, whose
+    #: links have substantially more bandwidth than the DDR4+CXL baseline;
+    #: its inflated traffic is therefore served by a faster memory system.
+    invisimem_bandwidth_multiplier: float = 2.0
+    #: Fraction of the MAC-block fetch latency that is exposed on the read
+    #: critical path (the rest overlaps with the data fetch).
+    integrity_overlap: float = 0.5
+
+
+class SimulationEngine:
+    """Runs one workload under one protection configuration."""
+
+    def __init__(
+        self,
+        params: ModeParameters,
+        config: Optional[SystemConfig] = None,
+        options: Optional[EngineOptions] = None,
+        seed: int = 0,
+    ) -> None:
+        self.params = params
+        self.config = config if config is not None else SystemConfig()
+        self.options = options if options is not None else EngineOptions()
+        self.seed = seed
+
+    @classmethod
+    def from_mode(
+        cls,
+        mode: ProtectionMode,
+        config: Optional[SystemConfig] = None,
+        options: Optional[EngineOptions] = None,
+        seed: int = 0,
+    ) -> "SimulationEngine":
+        return cls(MODE_PARAMETERS[mode], config=config, options=options, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        workload: Workload,
+        num_accesses: int = 100_000,
+        baseline_time_ns: Optional[float] = None,
+    ) -> SimulationResult:
+        """Replay ``num_accesses`` of the workload and return the results."""
+        cfg = self.config
+        mode = self.params.mode
+
+        hierarchy = CacheHierarchy(cfg)
+        rack = RackMemory(cfg)
+        mac_cache = MacCache(config=cfg) if self.params.mac_traffic else None
+        toleo: Optional[ToleoDevice] = None
+        stealth_cache: Optional[StealthVersionCache] = None
+        if mode.uses_toleo_device:
+            toleo = ToleoDevice(
+                config=cfg.toleo.scaled(workload.footprint_bytes),
+                rng=DRangeRng(seed=self.seed),
+                strict_capacity=False,
+            )
+            stealth_cache = StealthVersionCache(config=cfg)
+
+        traffic = TrafficBreakdown()
+        read_latency_sums = LatencyBreakdown()
+        llc_read_misses = 0
+        writebacks = 0
+        timeline: List[Dict[str, int]] = []
+        sample_every = max(1, num_accesses // max(1, self.options.timeline_samples))
+
+        aes_latency_ns = cfg.aes_latency_cycles * cfg.cycle_ns
+        invisimem = self.params.invisimem
+
+        for i, access in enumerate(workload.generate(num_accesses)):
+            result = hierarchy.access(access.address, access.is_write)
+            if toleo is not None and i % sample_every == 0:
+                timeline.append(toleo.snapshot_usage())
+            if not result.llc_miss:
+                continue
+
+            # ---- data fetch -------------------------------------------------
+            dram_ns = rack.access(access.address, CACHE_BLOCK_BYTES, is_write=False)
+            data_bytes = CACHE_BLOCK_BYTES
+            if invisimem is not None:
+                data_bytes = invisimem.packet_bytes(CACHE_BLOCK_BYTES)
+                traffic.dummy_bytes += int(
+                    invisimem.dummy_traffic_fraction * invisimem.packet_bytes()
+                )
+            traffic.data_bytes += data_bytes
+
+            llc_read_misses += 1
+            read_latency_sums.dram_ns += dram_ns
+
+            # ---- confidentiality --------------------------------------------
+            if self.params.aes_on_read:
+                read_latency_sums.decryption_ns += aes_latency_ns
+
+            # ---- integrity ---------------------------------------------------
+            if mac_cache is not None:
+                hit = mac_cache.access(access.address, is_write=False)
+                if not hit:
+                    mac_bytes = CACHE_BLOCK_BYTES
+                    if invisimem is not None:
+                        mac_bytes = int(
+                            invisimem.metadata_bytes_per_access(CACHE_BLOCK_BYTES)
+                        )
+                    traffic.mac_uv_bytes += mac_bytes
+                    mac_latency = rack.access(access.address, mac_bytes, is_write=False)
+                    read_latency_sums.integrity_ns += (
+                        mac_latency * self.options.integrity_overlap
+                    )
+
+            # ---- freshness (Toleo) --------------------------------------------
+            if toleo is not None and stealth_cache is not None:
+                page = page_number(access.address)
+                block = block_index_in_page(access.address)
+                fmt = toleo.table.format_of(page) if page in toleo.table else TripFormat.FLAT
+                cache_access = stealth_cache.access(page, fmt, is_write=False)
+                if not cache_access.hit:
+                    response = toleo.read(page, block)
+                    traffic.stealth_bytes += response.bytes_transferred
+                    read_latency_sums.freshness_ns += response.latency_ns
+
+            # ---- InvisiMem side-channel defences --------------------------------
+            if invisimem is not None:
+                read_latency_sums.side_channel_ns += invisimem.added_latency_ns(
+                    self.options.invisimem_queueing_pressure
+                )
+
+            # ---- dirty writeback ---------------------------------------------------
+            if result.writeback_address is not None:
+                writebacks += 1
+                self._handle_writeback(
+                    result.writeback_address,
+                    rack,
+                    traffic,
+                    mac_cache,
+                    toleo,
+                    stealth_cache,
+                    invisimem,
+                )
+
+        instructions = workload.instruction_count(
+            num_accesses, llc_misses=hierarchy.l3.stats.misses
+        )
+        execution_time_ns = self._execution_time_ns(
+            instructions, read_latency_sums, traffic
+        )
+        latency = self._average_latency(read_latency_sums, llc_read_misses)
+
+        result = SimulationResult(
+            workload=workload.name,
+            mode=mode,
+            instructions=instructions,
+            accesses=num_accesses,
+            llc_misses=hierarchy.l3.stats.misses,
+            writebacks=writebacks,
+            execution_time_ns=execution_time_ns,
+            traffic=traffic,
+            latency=latency,
+            stealth_cache_hit_rate=(
+                stealth_cache.hit_rate if stealth_cache is not None else 0.0
+            ),
+            mac_cache_hit_rate=(mac_cache.hit_rate if mac_cache is not None else 0.0),
+            trip_format_counts=(
+                toleo.table.format_counts() if toleo is not None else {}
+            ),
+            toleo_usage_bytes=(toleo.usage_breakdown() if toleo is not None else {}),
+            toleo_peak_bytes=(
+                toleo.stats.peak_dynamic_bytes + toleo.flat_bytes_used()
+                if toleo is not None
+                else 0
+            ),
+            toleo_usage_timeline=timeline,
+            baseline_time_ns=baseline_time_ns,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Writeback path
+    # ------------------------------------------------------------------
+
+    def _handle_writeback(
+        self,
+        address: int,
+        rack: RackMemory,
+        traffic: TrafficBreakdown,
+        mac_cache: Optional[MacCache],
+        toleo: Optional[ToleoDevice],
+        stealth_cache: Optional[StealthVersionCache],
+        invisimem,
+    ) -> None:
+        rack.access(address, CACHE_BLOCK_BYTES, is_write=True)
+        data_bytes = CACHE_BLOCK_BYTES
+        if invisimem is not None:
+            data_bytes = invisimem.packet_bytes(CACHE_BLOCK_BYTES)
+            traffic.dummy_bytes += int(
+                invisimem.dummy_traffic_fraction * invisimem.packet_bytes()
+            )
+        traffic.data_bytes += data_bytes
+
+        if mac_cache is not None:
+            hit = mac_cache.access(address, is_write=True)
+            if not hit:
+                mac_bytes = CACHE_BLOCK_BYTES
+                if invisimem is not None:
+                    mac_bytes = int(invisimem.metadata_bytes_per_access(CACHE_BLOCK_BYTES))
+                traffic.mac_uv_bytes += mac_bytes
+                rack.access(address, mac_bytes, is_write=True)
+
+        if toleo is not None and stealth_cache is not None:
+            page = page_number(address)
+            block = block_index_in_page(address)
+            fmt = toleo.table.format_of(page) if page in toleo.table else TripFormat.FLAT
+            cache_access = stealth_cache.access(page, fmt, is_write=True)
+            response = toleo.update(page, block)
+            if not cache_access.hit:
+                traffic.stealth_bytes += response.bytes_transferred
+            new_fmt = toleo.table.format_of(page)
+            if new_fmt is not fmt:
+                # The entry changed representation; the cached copy is stale.
+                stealth_cache.invalidate(page)
+
+    # ------------------------------------------------------------------
+    # Analytical execution-time and latency models
+    # ------------------------------------------------------------------
+
+    def _execution_time_ns(
+        self,
+        instructions: int,
+        read_latency_sums: LatencyBreakdown,
+        traffic: TrafficBreakdown,
+    ) -> float:
+        cfg = self.config
+        opts = self.options
+        compute_ns = instructions * opts.base_cpi * cfg.cycle_ns
+        stall_ns = read_latency_sums.total_ns / opts.memory_level_parallelism
+        execution_ns = compute_ns + stall_ns
+
+        bandwidth_gbps = cfg.local_dram_bandwidth_gbps + cfg.cxl_link_bandwidth_gbps
+        if self.params.mode is ProtectionMode.INVISIMEM:
+            bandwidth_gbps *= opts.invisimem_bandwidth_multiplier
+        bytes_per_ns = bandwidth_gbps  # 1 GB/s == 1 byte/ns
+        if bytes_per_ns > 0:
+            transfer_ns = traffic.total_bytes / bytes_per_ns
+            knee_time = transfer_ns / opts.bandwidth_knee
+            if knee_time > execution_ns:
+                execution_ns = knee_time
+        return execution_ns
+
+    @staticmethod
+    def _average_latency(sums: LatencyBreakdown, reads: int) -> LatencyBreakdown:
+        if reads <= 0:
+            return LatencyBreakdown()
+        return LatencyBreakdown(
+            dram_ns=sums.dram_ns / reads,
+            decryption_ns=sums.decryption_ns / reads,
+            integrity_ns=sums.integrity_ns / reads,
+            freshness_ns=sums.freshness_ns / reads,
+            side_channel_ns=sums.side_channel_ns / reads,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Convenience drivers
+# ---------------------------------------------------------------------------
+
+def compare_modes(
+    workload_factory,
+    modes: Sequence[ProtectionMode] = EVALUATED_MODES,
+    num_accesses: int = 100_000,
+    config: Optional[SystemConfig] = None,
+    options: Optional[EngineOptions] = None,
+    seed: int = 0,
+) -> Dict[ProtectionMode, SimulationResult]:
+    """Run one workload under several configurations with a shared baseline.
+
+    ``workload_factory`` is a zero-argument callable returning a *fresh*
+    workload instance (each run must replay an identical trace, which
+    requires resetting the workload's RNG).
+    """
+    results: Dict[ProtectionMode, SimulationResult] = {}
+    baseline_time: Optional[float] = None
+
+    ordered = list(modes)
+    if ProtectionMode.NOPROTECT not in ordered:
+        ordered.insert(0, ProtectionMode.NOPROTECT)
+
+    for mode in ordered:
+        engine = SimulationEngine.from_mode(mode, config=config, options=options, seed=seed)
+        result = engine.run(
+            workload_factory(), num_accesses=num_accesses, baseline_time_ns=baseline_time
+        )
+        if mode is ProtectionMode.NOPROTECT:
+            baseline_time = result.execution_time_ns
+            result.baseline_time_ns = baseline_time
+        results[mode] = result
+
+    # Fill in the baseline for modes that ran before it was known (defensive).
+    for result in results.values():
+        if result.baseline_time_ns is None:
+            result.baseline_time_ns = baseline_time
+    return results
+
+
+def run_suite(
+    benchmark_names: Iterable[str],
+    modes: Sequence[ProtectionMode] = EVALUATED_MODES,
+    scale: float = 0.002,
+    num_accesses: int = 100_000,
+    seed: int = 1234,
+    config: Optional[SystemConfig] = None,
+    options: Optional[EngineOptions] = None,
+) -> Dict[str, Dict[ProtectionMode, SimulationResult]]:
+    """Run a list of named benchmarks under the requested configurations."""
+    from repro.workloads.registry import get_workload
+
+    suite: Dict[str, Dict[ProtectionMode, SimulationResult]] = {}
+    for name in benchmark_names:
+        suite[name] = compare_modes(
+            lambda name=name: get_workload(name, scale=scale, seed=seed),
+            modes=modes,
+            num_accesses=num_accesses,
+            config=config,
+            options=options,
+            seed=seed,
+        )
+    return suite
+
+
+__all__ = ["SimulationEngine", "EngineOptions", "compare_modes", "run_suite"]

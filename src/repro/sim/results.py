@@ -1,0 +1,160 @@
+"""Result containers produced by the trace-driven simulator.
+
+Every table and figure in the paper's evaluation reads one of these fields:
+
+* Figure 6 -- ``slowdown`` / ``overhead`` of CI, Toleo and InvisiMem.
+* Figure 7 -- ``stealth_cache_hit_rate`` and ``mac_cache_hit_rate``.
+* Figure 8 -- ``traffic`` (bytes per instruction by category).
+* Figure 9 -- ``latency`` (average read-latency breakdown).
+* Figure 10 -- ``trip_format_counts``.
+* Figures 11/12 -- ``toleo_usage`` and ``toleo_usage_timeline``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.trip import TripFormat
+from repro.sim.configs import ProtectionMode
+
+
+@dataclass
+class TrafficBreakdown:
+    """Bytes moved over the memory system, by category (Figure 8)."""
+
+    data_bytes: int = 0
+    mac_uv_bytes: int = 0
+    stealth_bytes: int = 0
+    dummy_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.mac_uv_bytes + self.stealth_bytes + self.dummy_bytes
+
+    def per_instruction(self, instructions: int) -> Dict[str, float]:
+        if instructions <= 0:
+            return {"data": 0.0, "mac_uv": 0.0, "stealth": 0.0, "dummy": 0.0}
+        return {
+            "data": self.data_bytes / instructions,
+            "mac_uv": self.mac_uv_bytes / instructions,
+            "stealth": self.stealth_bytes / instructions,
+            "dummy": self.dummy_bytes / instructions,
+        }
+
+
+@dataclass
+class LatencyBreakdown:
+    """Average memory read-latency components in nanoseconds (Figure 9)."""
+
+    dram_ns: float = 0.0
+    decryption_ns: float = 0.0
+    integrity_ns: float = 0.0
+    freshness_ns: float = 0.0
+    side_channel_ns: float = 0.0
+
+    @property
+    def total_ns(self) -> float:
+        return (
+            self.dram_ns
+            + self.decryption_ns
+            + self.integrity_ns
+            + self.freshness_ns
+            + self.side_channel_ns
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "dram": self.dram_ns,
+            "decryption": self.decryption_ns,
+            "integrity": self.integrity_ns,
+            "freshness": self.freshness_ns,
+            "side_channel": self.side_channel_ns,
+            "total": self.total_ns,
+        }
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured by one (workload, protection mode) simulation."""
+
+    workload: str
+    mode: ProtectionMode
+    instructions: int
+    accesses: int
+    llc_misses: int
+    writebacks: int
+    execution_time_ns: float
+    traffic: TrafficBreakdown
+    latency: LatencyBreakdown
+    stealth_cache_hit_rate: float = 0.0
+    mac_cache_hit_rate: float = 0.0
+    trip_format_counts: Dict[TripFormat, int] = field(default_factory=dict)
+    toleo_usage_bytes: Dict[str, int] = field(default_factory=dict)
+    toleo_peak_bytes: int = 0
+    toleo_usage_timeline: List[Dict[str, int]] = field(default_factory=list)
+    baseline_time_ns: Optional[float] = None
+
+    # -- derived metrics --------------------------------------------------------
+
+    @property
+    def llc_mpki(self) -> float:
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.instructions
+
+    @property
+    def slowdown(self) -> float:
+        """Execution time relative to the NoProtect baseline (1.0 = equal)."""
+        if not self.baseline_time_ns:
+            return 1.0
+        return self.execution_time_ns / self.baseline_time_ns
+
+    @property
+    def overhead(self) -> float:
+        """Fractional execution-time overhead versus NoProtect (Figure 6)."""
+        return self.slowdown - 1.0
+
+    @property
+    def bytes_per_instruction(self) -> Dict[str, float]:
+        return self.traffic.per_instruction(self.instructions)
+
+    @property
+    def average_read_latency_ns(self) -> float:
+        return self.latency.total_ns
+
+    def trip_format_fractions(self) -> Dict[str, float]:
+        """Fraction of pages in each Trip format (Figure 10)."""
+        total = sum(self.trip_format_counts.values())
+        if total == 0:
+            return {fmt.value: 0.0 for fmt in TripFormat}
+        return {
+            fmt.value: self.trip_format_counts.get(fmt, 0) / total for fmt in TripFormat
+        }
+
+    def toleo_gb_per_tb_protected(self, protected_bytes: Optional[int] = None) -> float:
+        """Peak Toleo usage normalised to protected data (Figure 11's metric)."""
+        footprint = protected_bytes
+        if footprint is None or footprint <= 0:
+            return 0.0
+        total_toleo = sum(self.toleo_usage_bytes.values()) or self.toleo_peak_bytes
+        return (total_toleo / (1 << 30)) / (footprint / (1 << 40))
+
+    def summary(self) -> Dict[str, object]:
+        """A flat dictionary convenient for tabular reports."""
+        return {
+            "workload": self.workload,
+            "mode": self.mode.value,
+            "slowdown": round(self.slowdown, 4),
+            "overhead_pct": round(self.overhead * 100.0, 2),
+            "llc_mpki": round(self.llc_mpki, 2),
+            "read_latency_ns": round(self.average_read_latency_ns, 2),
+            "stealth_hit_rate": round(self.stealth_cache_hit_rate, 4),
+            "mac_hit_rate": round(self.mac_cache_hit_rate, 4),
+            "bytes_per_instr": round(
+                self.traffic.total_bytes / max(1, self.instructions), 4
+            ),
+        }
+
+
+__all__ = ["SimulationResult", "TrafficBreakdown", "LatencyBreakdown"]

@@ -1,0 +1,238 @@
+"""Workload framework: memory accesses, regions, phases and the base class.
+
+A workload is a named collection of :class:`MemoryRegion` objects (its data
+structures) plus one or more :class:`WorkloadPhase` generators that emit
+:class:`MemoryAccess` events over those regions.  The trace-driven simulator
+consumes the access stream; the protection engine and Toleo device only ever
+see addresses, so the synthetic traces capture everything the evaluation
+depends on: footprint, read/write mix, spatial locality of writes (version
+locality) and the page-access distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from repro.core.config import CACHE_BLOCK_BYTES, GIB, PAGE_BYTES
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory reference in a trace."""
+
+    address: int
+    is_write: bool
+    size: int = CACHE_BLOCK_BYTES
+
+    @property
+    def page(self) -> int:
+        return self.address // PAGE_BYTES
+
+    @property
+    def block(self) -> int:
+        return self.address // CACHE_BLOCK_BYTES
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A contiguous data structure in the workload's address space."""
+
+    name: str
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"region {self.name} must have positive size")
+        if self.base % CACHE_BLOCK_BYTES != 0:
+            raise ValueError(f"region {self.name} base must be block aligned")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    @property
+    def blocks(self) -> int:
+        return max(1, self.size // CACHE_BLOCK_BYTES)
+
+    @property
+    def pages(self) -> int:
+        return max(1, self.size // PAGE_BYTES)
+
+    def block_address(self, block_index: int) -> int:
+        """Block-aligned address of the ``block_index``-th block, wrapping."""
+        return self.base + (block_index % self.blocks) * CACHE_BLOCK_BYTES
+
+    def page_address(self, page_index: int, block_in_page: int = 0) -> int:
+        addr = self.base + (page_index % self.pages) * PAGE_BYTES
+        return addr + (block_in_page % (PAGE_BYTES // CACHE_BLOCK_BYTES)) * CACHE_BLOCK_BYTES
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+@dataclass
+class WorkloadPhase:
+    """One phase of a workload: a weighted access generator.
+
+    ``generator`` is called with (rng, regions, count) and must yield exactly
+    ``count`` accesses.  Weights determine how many of the workload's total
+    accesses each phase contributes.
+    """
+
+    name: str
+    weight: float
+    generator: Callable[[random.Random, "Workload", int], Iterator[MemoryAccess]]
+
+
+@dataclass
+class WorkloadCharacteristics:
+    """Reference characteristics from Table 2 plus derived knobs."""
+
+    rss_bytes: int
+    llc_mpki: float
+    category: str
+    write_fraction: float = 0.3
+    instructions_per_access: float = 3.0
+
+
+class Workload:
+    """Base class for synthetic benchmark workloads.
+
+    Subclasses define :meth:`build_regions` and :meth:`build_phases`.  The
+    framework then lays regions out in a flat address space, scales their
+    sizes by ``scale`` (so a 11.7 GB RSS benchmark can be exercised with a
+    ~12 MB footprint), and interleaves the phases' access streams.
+
+    Parameters
+    ----------
+    scale:
+        Footprint scale factor relative to the paper's resident set size.
+    seed:
+        RNG seed; the same (scale, seed) pair always produces the same trace.
+    """
+
+    name: str = "workload"
+    characteristics = WorkloadCharacteristics(
+        rss_bytes=1 * GIB, llc_mpki=1.0, category="generic"
+    )
+
+    #: Base of the synthetic physical address space.  Non-zero so that page 0
+    #: is never implicitly special.
+    ADDRESS_BASE = 1 << 30
+
+    def __init__(self, scale: float = 0.002, seed: int = 1234) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.regions: List[MemoryRegion] = []
+        self._region_map = {}
+        self._build_layout()
+        self.phases = self.build_phases()
+        if not self.phases:
+            raise ValueError("workload must define at least one phase")
+
+    # -- to be provided by subclasses ----------------------------------------
+
+    def region_plan(self) -> Sequence[tuple[str, float]]:
+        """Return (region name, fraction of RSS) pairs."""
+        return [("heap", 1.0)]
+
+    def build_phases(self) -> List[WorkloadPhase]:
+        raise NotImplementedError
+
+    # -- layout ------------------------------------------------------------------
+
+    @property
+    def rss_bytes(self) -> int:
+        """Scaled resident set size of the synthetic workload."""
+        return max(PAGE_BYTES, int(self.characteristics.rss_bytes * self.scale))
+
+    def _build_layout(self) -> None:
+        cursor = self.ADDRESS_BASE
+        for name, fraction in self.region_plan():
+            size = max(PAGE_BYTES, int(self.rss_bytes * fraction))
+            size = (size // PAGE_BYTES) * PAGE_BYTES or PAGE_BYTES
+            region = MemoryRegion(name=name, base=cursor, size=size)
+            self.regions.append(region)
+            self._region_map[name] = region
+            # Leave a guard gap between regions so they never share a page.
+            cursor = region.end + PAGE_BYTES
+
+    def region(self, name: str) -> MemoryRegion:
+        return self._region_map[name]
+
+    @property
+    def footprint_bytes(self) -> int:
+        return sum(r.size for r in self.regions)
+
+    # -- trace generation -------------------------------------------------------------
+
+    def generate(self, num_accesses: int = 200_000) -> Iterator[MemoryAccess]:
+        """Yield ``num_accesses`` memory accesses, interleaving phases.
+
+        Phases are executed in order; each phase receives a share of the
+        total proportional to its weight.  This matches how the benchmarks
+        run: an initialisation/build phase followed by the main kernel.
+        """
+        if num_accesses <= 0:
+            raise ValueError("num_accesses must be positive")
+        total_weight = sum(p.weight for p in self.phases)
+        remaining = num_accesses
+        for i, phase in enumerate(self.phases):
+            if i == len(self.phases) - 1:
+                count = remaining
+            else:
+                count = int(round(num_accesses * phase.weight / total_weight))
+                count = min(count, remaining)
+            remaining -= count
+            if count <= 0:
+                continue
+            yield from phase.generator(self.rng, self, count)
+
+    def trace(self, num_accesses: int = 200_000) -> List[MemoryAccess]:
+        """Materialise the trace as a list."""
+        return list(self.generate(num_accesses))
+
+    # -- derived metrics --------------------------------------------------------------------
+
+    @property
+    def instructions_per_access(self) -> float:
+        return self.characteristics.instructions_per_access
+
+    def instruction_count(self, num_accesses: int, llc_misses: Optional[int] = None) -> int:
+        """Instructions represented by a trace of ``num_accesses`` references.
+
+        When the simulator supplies the observed LLC miss count, the
+        instruction count is calibrated so that the workload's LLC MPKI
+        matches its Table 2 reference value (``instructions = misses * 1000 /
+        MPKI``).  This is what makes memory-bound benchmarks (pr, llama2-gen)
+        spend most of their time in the memory system -- and therefore pay
+        more for protection -- while compute-bound kernels (bsw, fmi) hide
+        the metadata traffic behind computation, exactly as in the paper.
+        Without a miss count the fixed ``instructions_per_access`` factor is
+        used instead.
+        """
+        if llc_misses is not None and self.characteristics.llc_mpki > 0:
+            calibrated = int(llc_misses * 1000.0 / self.characteristics.llc_mpki)
+            return max(calibrated, num_accesses)
+        return int(num_accesses * self.instructions_per_access)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Workload {self.name} scale={self.scale} "
+            f"footprint={self.footprint_bytes / (1 << 20):.1f} MiB>"
+        )
+
+
+__all__ = [
+    "MemoryAccess",
+    "MemoryRegion",
+    "Workload",
+    "WorkloadPhase",
+    "WorkloadCharacteristics",
+]

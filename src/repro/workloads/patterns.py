@@ -1,0 +1,347 @@
+"""Reusable memory-access pattern generators.
+
+Each pattern is a function ``(rng, workload, count) -> Iterator[MemoryAccess]``
+suitable for use as a :class:`~repro.workloads.base.WorkloadPhase` generator.
+The patterns capture the behaviours the paper's Section 4.3 and 7.2 describe
+as the drivers of version locality:
+
+* ``sequential_write_sweep`` -- uniform writes over a large structure
+  (dynamic-programming arrays, LLM intermediate layers): perfect version
+  locality, pages stay flat.
+* ``stencil_sweep`` -- read the previous row, write the current one (banded
+  Smith-Waterman / chaining DP kernels).
+* ``random_reads`` -- irregular read-only lookups (FM-index search, hash
+  tables, key-value GETs): no writes, pages stay flat.
+* ``random_block_writes`` -- writes scattered at cache-block granularity
+  within a region: in-page strides exceed one and pages upgrade to uneven.
+* ``zipf_writes`` -- power-law-skewed writes (graph rank arrays): a few very
+  hot blocks push their pages to the full format.
+* ``gaussian_kv_writes`` -- memtier-style Gaussian key popularity over a
+  key-value store (redis / memcached).
+* ``pointer_chase`` -- dependent random reads (tree/graph traversal).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator, List, Optional
+
+from repro.core.config import CACHE_BLOCK_BYTES, PAGE_BYTES
+from repro.workloads.base import MemoryAccess, MemoryRegion, Workload
+
+BLOCKS_PER_PAGE = PAGE_BYTES // CACHE_BLOCK_BYTES
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def _zipf_ranks(rng: random.Random, n: int, count: int, exponent: float = 1.1) -> List[int]:
+    """Sample ``count`` ranks in [0, n) from a Zipf-like distribution."""
+    # Inverse-CDF sampling over a truncated zeta distribution.
+    weights = [1.0 / (i + 1) ** exponent for i in range(min(n, 4096))]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    ranks = []
+    for _ in range(count):
+        u = rng.random()
+        lo, hi = 0, len(cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        # Spread the coarse rank across the full region deterministically.
+        ranks.append((lo * max(1, n // len(cdf))) % n)
+    return ranks
+
+
+def _clamp_block(region: MemoryRegion, block: int) -> int:
+    return region.block_address(block % region.blocks)
+
+
+# ---------------------------------------------------------------------------
+# Pattern factories
+# ---------------------------------------------------------------------------
+
+def sequential_write_sweep(region_name: str, read_fraction: float = 0.0):
+    """Uniform block-by-block writes over a region (optionally with reads).
+
+    The sweep wraps around the region, so a long phase performs multiple
+    uniform passes -- each pass bumps every block's version by one, which is
+    exactly the behaviour that keeps pages in the flat format.
+    """
+
+    def generate(rng: random.Random, workload: Workload, count: int) -> Iterator[MemoryAccess]:
+        region = workload.region(region_name)
+        emitted = 0
+        block = 0
+        while emitted < count:
+            address = region.block_address(block)
+            if read_fraction > 0.0 and rng.random() < read_fraction:
+                yield MemoryAccess(address=address, is_write=False)
+            else:
+                yield MemoryAccess(address=address, is_write=True)
+            emitted += 1
+            block += 1
+
+    return generate
+
+
+def stencil_sweep(write_region: str, read_region: Optional[str] = None, reads_per_write: int = 2):
+    """Dynamic-programming stencil: read neighbouring cells, write the current one."""
+
+    def generate(rng: random.Random, workload: Workload, count: int) -> Iterator[MemoryAccess]:
+        wr = workload.region(write_region)
+        rr = workload.region(read_region) if read_region else wr
+        emitted = 0
+        block = 0
+        while emitted < count:
+            for _ in range(reads_per_write):
+                if emitted >= count:
+                    return
+                yield MemoryAccess(address=_clamp_block(rr, block + rng.randint(0, 2)), is_write=False)
+                emitted += 1
+            if emitted >= count:
+                return
+            yield MemoryAccess(address=wr.block_address(block), is_write=True)
+            emitted += 1
+            block += 1
+
+    return generate
+
+
+def random_reads(region_name: str, hot_fraction: float = 0.0, hot_weight: float = 0.0):
+    """Uniform (or hot/cold) random read-only lookups over a region."""
+
+    def generate(rng: random.Random, workload: Workload, count: int) -> Iterator[MemoryAccess]:
+        region = workload.region(region_name)
+        hot_blocks = max(1, int(region.blocks * hot_fraction)) if hot_fraction > 0 else 0
+        for _ in range(count):
+            if hot_blocks and rng.random() < hot_weight:
+                block = rng.randrange(hot_blocks)
+            else:
+                block = rng.randrange(region.blocks)
+            yield MemoryAccess(address=region.block_address(block), is_write=False)
+
+    return generate
+
+
+def random_block_writes(region_name: str, write_fraction: float = 0.5):
+    """Scattered block-granularity writes mixed with reads.
+
+    Because writes revisit blocks before their page is uniformly covered,
+    in-page version strides exceed one and pages upgrade to the uneven
+    format -- the behaviour Figure 10 shows for fmi and the graph kernels.
+    """
+
+    def generate(rng: random.Random, workload: Workload, count: int) -> Iterator[MemoryAccess]:
+        region = workload.region(region_name)
+        for _ in range(count):
+            block = rng.randrange(region.blocks)
+            is_write = rng.random() < write_fraction
+            yield MemoryAccess(address=region.block_address(block), is_write=is_write)
+
+    return generate
+
+
+def zipf_writes(region_name: str, write_fraction: float = 0.6, exponent: float = 1.2):
+    """Power-law-skewed writes: a few blocks become very hot (full pages)."""
+
+    def generate(rng: random.Random, workload: Workload, count: int) -> Iterator[MemoryAccess]:
+        region = workload.region(region_name)
+        ranks = _zipf_ranks(rng, region.blocks, count, exponent)
+        for rank in ranks:
+            is_write = rng.random() < write_fraction
+            yield MemoryAccess(address=region.block_address(rank), is_write=is_write)
+
+    return generate
+
+
+def gaussian_kv_writes(region_name: str, write_fraction: float = 1.0, sigma_fraction: float = 0.08):
+    """memtier-style Gaussian key popularity over a key-value region.
+
+    Requests pick *pages* with a Gaussian popularity distribution (which is
+    what defeats the page-granular stealth cache for redis and memcached),
+    but within a page the store's allocator packs neighbouring keys whose
+    values are rewritten at similar rates, so page coverage advances
+    uniformly -- each request writes the next run of blocks in the page.
+    That is why these workloads keep ~98 % of their pages in the flat format
+    (Figure 10) despite their random page-access pattern.
+    """
+
+    def generate(rng: random.Random, workload: Workload, count: int) -> Iterator[MemoryAccess]:
+        region = workload.region(region_name)
+        pages = region.pages
+        mean = pages / 2.0
+        sigma = max(1.0, pages * sigma_fraction)
+        cursors: dict[int, int] = {}
+        emitted = 0
+        while emitted < count:
+            page = int(rng.gauss(mean, sigma)) % pages
+            is_write = rng.random() < write_fraction
+            # A request touches a small run of blocks; runs advance around the
+            # page so coverage stays uniform (adjacent keys, similar rates).
+            run = rng.randint(1, 4)
+            start_block = cursors.get(page, 0)
+            cursors[page] = (start_block + run) % BLOCKS_PER_PAGE
+            for i in range(run):
+                if emitted >= count:
+                    return
+                yield MemoryAccess(
+                    address=region.page_address(page, start_block + i),
+                    is_write=is_write,
+                )
+                emitted += 1
+
+    return generate
+
+
+def pointer_chase(
+    region_name: str,
+    chain_length: int = 16,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.6,
+):
+    """Dependent random reads modelling tree traversal / graph frontier walks.
+
+    Real index traversals repeatedly revisit the top levels of the structure
+    (the hot prefix of the region) before descending into cold leaves, which
+    is why their page-level reuse remains high even though the block-level
+    pattern looks random.  ``hot_fraction`` sizes that hot prefix and
+    ``hot_weight`` is the probability a hop lands in it.
+    """
+
+    def generate(rng: random.Random, workload: Workload, count: int) -> Iterator[MemoryAccess]:
+        region = workload.region(region_name)
+        hot_blocks = max(1, int(region.blocks * hot_fraction))
+        emitted = 0
+        current = rng.randrange(region.blocks)
+        while emitted < count:
+            for _ in range(chain_length):
+                if emitted >= count:
+                    return
+                yield MemoryAccess(address=region.block_address(current), is_write=False)
+                emitted += 1
+                if rng.random() < hot_weight:
+                    current = rng.randrange(hot_blocks)
+                else:
+                    # Deterministic hash-style next pointer keeps the cold
+                    # part of the chase irregular.
+                    current = (current * 1103515245 + 12345) % region.blocks
+            current = rng.randrange(region.blocks)
+
+    return generate
+
+
+def streaming_reads(region_name: str, stride_blocks: int = 1):
+    """Sequential streaming reads (edge-list scans, table scans)."""
+
+    def generate(rng: random.Random, workload: Workload, count: int) -> Iterator[MemoryAccess]:
+        region = workload.region(region_name)
+        block = 0
+        for _ in range(count):
+            yield MemoryAccess(address=region.block_address(block), is_write=False)
+            block += stride_blocks
+
+    return generate
+
+
+def page_sequential_writes(region_name: str, rewrites: int = 2):
+    """Write every block of a page, then rewrite the page ``rewrites`` times.
+
+    Models LLM intermediate activations: a layer's buffer is rewritten once
+    per generated token, each rewrite covering the page uniformly, so pages
+    remain flat while versions climb.
+    """
+
+    def generate(rng: random.Random, workload: Workload, count: int) -> Iterator[MemoryAccess]:
+        region = workload.region(region_name)
+        emitted = 0
+        page = 0
+        while emitted < count:
+            for _ in range(max(1, rewrites)):
+                for block in range(BLOCKS_PER_PAGE):
+                    if emitted >= count:
+                        return
+                    yield MemoryAccess(
+                        address=region.page_address(page, block), is_write=True
+                    )
+                    emitted += 1
+            page += 1
+
+    return generate
+
+
+def transactional_writes(region_name: str, txn_span_blocks: int = 8, write_fraction: float = 0.4):
+    """OLTP-style transactions: read a few rows, then commit writes to them."""
+
+    def generate(rng: random.Random, workload: Workload, count: int) -> Iterator[MemoryAccess]:
+        region = workload.region(region_name)
+        emitted = 0
+        while emitted < count:
+            start = rng.randrange(region.blocks)
+            span = [start + i for i in range(txn_span_blocks)]
+            # Read phase
+            for block in span:
+                if emitted >= count:
+                    return
+                yield MemoryAccess(address=_clamp_block(region, block), is_write=False)
+                emitted += 1
+            # Commit phase
+            for block in span:
+                if emitted >= count:
+                    return
+                if rng.random() < write_fraction:
+                    yield MemoryAccess(address=_clamp_block(region, block), is_write=True)
+                    emitted += 1
+
+    return generate
+
+
+def matrix_multiply(read_region: str, write_region: str, tile_blocks: int = 32):
+    """GEMM-like pattern: stream reads of weights, uniform writes of outputs."""
+
+    def generate(rng: random.Random, workload: Workload, count: int) -> Iterator[MemoryAccess]:
+        weights = workload.region(read_region)
+        output = workload.region(write_region)
+        emitted = 0
+        out_block = 0
+        w_block = 0
+        while emitted < count:
+            # Read a tile of weights...
+            for _ in range(tile_blocks):
+                if emitted >= count:
+                    return
+                yield MemoryAccess(address=weights.block_address(w_block), is_write=False)
+                emitted += 1
+                w_block += 1
+            # ...then write one output block.
+            if emitted >= count:
+                return
+            yield MemoryAccess(address=output.block_address(out_block), is_write=True)
+            emitted += 1
+            out_block += 1
+
+    return generate
+
+
+__all__ = [
+    "sequential_write_sweep",
+    "stencil_sweep",
+    "random_reads",
+    "random_block_writes",
+    "zipf_writes",
+    "gaussian_kv_writes",
+    "pointer_chase",
+    "streaming_reads",
+    "page_sequential_writes",
+    "transactional_writes",
+    "matrix_multiply",
+]

@@ -1,0 +1,97 @@
+"""Benchmark registry: the paper's Table 2 characteristics plus constructors.
+
+``BENCHMARKS`` records each benchmark's reference resident set size and LLC
+MPKI exactly as reported in Table 2, together with the workload class that
+generates its synthetic trace.  ``get_workload`` builds a scaled instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Type
+
+from repro.core.config import GIB
+from repro.workloads.base import Workload
+from repro.workloads.database import DATABASE_WORKLOADS
+from repro.workloads.genomics import GENOMICS_WORKLOADS
+from repro.workloads.graph import GRAPH_WORKLOADS
+from repro.workloads.llm import LLM_WORKLOADS
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """Reference characteristics of one benchmark (Table 2)."""
+
+    name: str
+    suite: str
+    category: str
+    rss_gb: float
+    llc_mpki: float
+    workload_class: Type[Workload]
+
+    @property
+    def rss_bytes(self) -> int:
+        return int(self.rss_gb * GIB)
+
+
+def _build_registry() -> Dict[str, BenchmarkInfo]:
+    paper_rows = {
+        # name: (suite, category, RSS GB, LLC MPKI)
+        "bsw": ("GenomicsBench", "genomics", 11.7, 1.21),
+        "chain": ("GenomicsBench", "genomics", 11.75, 0.49),
+        "dbg": ("GenomicsBench", "genomics", 9.86, 0.47),
+        "fmi": ("GenomicsBench", "genomics", 12.05, 0.45),
+        "pileup": ("GenomicsBench", "genomics", 10.85, 0.66),
+        "bfs": ("GAP", "graph", 12.9, 22.57),
+        "pr": ("GAP", "graph", 20.8, 133.98),
+        "sssp": ("GAP", "graph", 24.57, 2.41),
+        "llama2-gen": ("llama2.c", "llm", 25.8, 57.96),
+        "redis": ("memtier", "database", 11.8, 0.76),
+        "memcached": ("memtier", "database", 11.8, 3.14),
+        "hyrise": ("TPC-C", "database", 6.96, 3.14),
+    }
+    classes: Dict[str, Type[Workload]] = {}
+    classes.update(GENOMICS_WORKLOADS)
+    classes.update(GRAPH_WORKLOADS)
+    classes.update(LLM_WORKLOADS)
+    classes.update(DATABASE_WORKLOADS)
+
+    registry: Dict[str, BenchmarkInfo] = {}
+    for name, (suite, category, rss_gb, mpki) in paper_rows.items():
+        registry[name] = BenchmarkInfo(
+            name=name,
+            suite=suite,
+            category=category,
+            rss_gb=rss_gb,
+            llc_mpki=mpki,
+            workload_class=classes[name],
+        )
+    return registry
+
+
+BENCHMARKS: Dict[str, BenchmarkInfo] = _build_registry()
+WORKLOAD_NAMES: List[str] = list(BENCHMARKS)
+
+
+def benchmark_info(name: str) -> BenchmarkInfo:
+    """Look up a benchmark's Table 2 reference characteristics."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(WORKLOAD_NAMES)}"
+        ) from None
+
+
+def get_workload(name: str, scale: float = 0.002, seed: int = 1234) -> Workload:
+    """Instantiate a benchmark's synthetic workload at the given scale.
+
+    ``scale`` multiplies the paper's resident set size; the default 0.002
+    turns a ~12 GB footprint into ~24 MB, which exceeds the 16 MB shared L3
+    (so LLC misses occur) while keeping trace generation fast.
+    """
+    info = benchmark_info(name)
+    return info.workload_class(scale=scale, seed=seed)
+
+
+__all__ = ["BenchmarkInfo", "BENCHMARKS", "WORKLOAD_NAMES", "benchmark_info", "get_workload"]

@@ -1,0 +1,129 @@
+"""A configurable synthetic workload for ablation studies.
+
+The paper's Trip format, stealth-cache sizing and reset-probability choices
+are all sensitive to *version locality* -- the degree to which writes within
+a page happen uniformly.  :class:`SyntheticWorkload` exposes that locality as
+a single knob so the ablation benchmarks can sweep it from perfectly uniform
+(all pages flat) to fully random (pages forced to uneven/full).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.core.config import GIB, MIB
+from repro.workloads.base import (
+    MemoryAccess,
+    Workload,
+    WorkloadCharacteristics,
+    WorkloadPhase,
+)
+from repro.workloads.patterns import (
+    random_block_writes,
+    sequential_write_sweep,
+    zipf_writes,
+)
+
+
+class SyntheticWorkload(Workload):
+    """A tunable mix of uniform, scattered and skewed writes.
+
+    Parameters
+    ----------
+    version_locality:
+        Fraction of accesses issued as uniform page sweeps (1.0 = perfectly
+        uniform writes, 0.0 = fully scattered).
+    skew:
+        Fraction of the *non-uniform* accesses that follow a Zipf
+        distribution (creating very hot blocks and hence full pages).
+    footprint_bytes:
+        Synthetic resident set size (already scaled; ``scale`` is applied on
+        top of it like any other workload).
+    write_fraction:
+        Fraction of scattered accesses that are writes.
+    """
+
+    name = "synthetic"
+
+    def __init__(
+        self,
+        version_locality: float = 0.9,
+        skew: float = 0.1,
+        footprint_bytes: int = 32 * MIB,
+        write_fraction: float = 0.5,
+        scale: float = 1.0,
+        seed: int = 7,
+    ) -> None:
+        if not 0.0 <= version_locality <= 1.0:
+            raise ValueError("version_locality must be in [0, 1]")
+        if not 0.0 <= skew <= 1.0:
+            raise ValueError("skew must be in [0, 1]")
+        self.version_locality = version_locality
+        self.skew = skew
+        self.write_fraction = write_fraction
+        self.characteristics = WorkloadCharacteristics(
+            rss_bytes=footprint_bytes,
+            llc_mpki=10.0,
+            category="synthetic",
+            write_fraction=write_fraction,
+            instructions_per_access=2.0,
+        )
+        super().__init__(scale=scale, seed=seed)
+
+    def region_plan(self):
+        return [("data", 1.0)]
+
+    def build_phases(self) -> List[WorkloadPhase]:
+        uniform_weight = max(self.version_locality, 1e-6)
+        scattered = max(1.0 - self.version_locality, 1e-6)
+        zipf_weight = scattered * self.skew
+        random_weight = scattered * (1.0 - self.skew)
+        phases = [
+            WorkloadPhase("uniform", uniform_weight, sequential_write_sweep("data")),
+        ]
+        if random_weight > 1e-6:
+            phases.append(
+                WorkloadPhase(
+                    "scattered",
+                    random_weight,
+                    random_block_writes("data", write_fraction=self.write_fraction),
+                )
+            )
+        if zipf_weight > 1e-6:
+            phases.append(
+                WorkloadPhase(
+                    "skewed",
+                    zipf_weight,
+                    zipf_writes("data", write_fraction=self.write_fraction, exponent=1.3),
+                )
+            )
+        return phases
+
+    def generate(self, num_accesses: int = 200_000) -> Iterator[MemoryAccess]:
+        """Interleave phases access-by-access instead of running them serially.
+
+        For the ablation studies the interesting quantity is the steady-state
+        mixture, so uniform and scattered accesses are interleaved according
+        to their weights rather than executed as separate program phases.
+        """
+        if num_accesses <= 0:
+            raise ValueError("num_accesses must be positive")
+        rng = random.Random(self.seed + 1)
+        weights = [p.weight for p in self.phases]
+        generators = [
+            iter(p.generator(self.rng, self, num_accesses)) for p in self.phases
+        ]
+        emitted = 0
+        while emitted < num_accesses:
+            idx = rng.choices(range(len(generators)), weights=weights, k=1)[0]
+            try:
+                yield next(generators[idx])
+                emitted += 1
+            except StopIteration:
+                generators[idx] = iter(
+                    self.phases[idx].generator(self.rng, self, num_accesses)
+                )
+
+
+__all__ = ["SyntheticWorkload"]

@@ -1,0 +1,72 @@
+"""Tests for the counter-tree leaf-representation models (Table 4 baselines)."""
+
+import pytest
+
+from repro.baselines.counter_trees import (
+    LEAF_REPRESENTATIONS,
+    client_sgx_tree,
+    morphable_tree,
+    scaling_table,
+    vault_tree,
+)
+from repro.core.config import GIB, MIB, TIB
+
+
+class TestLeafRepresentations:
+    def test_paper_ratios(self):
+        reps = LEAF_REPRESENTATIONS
+        assert reps["client_sgx"].data_to_version_ratio == pytest.approx(9.14, abs=0.01)
+        assert reps["vault"].data_to_version_ratio == pytest.approx(64.0)
+        assert reps["morphctr"].data_to_version_ratio == pytest.approx(128.0)
+        assert reps["toleo_flat"].data_to_version_ratio == pytest.approx(341.3, abs=0.5)
+        assert reps["toleo_uneven"].data_to_version_ratio == pytest.approx(60.2, abs=0.5)
+        assert reps["toleo_full"].data_to_version_ratio == pytest.approx(17.96, abs=0.1)
+        assert reps["toleo_avg"].data_to_version_ratio == pytest.approx(240, abs=1)
+
+    def test_toleo_flat_is_most_compact(self):
+        flat_ratio = LEAF_REPRESENTATIONS["toleo_flat"].data_to_version_ratio
+        for key, rep in LEAF_REPRESENTATIONS.items():
+            if key != "toleo_flat":
+                assert flat_ratio >= rep.data_to_version_ratio
+
+
+class TestCounterTreeModel:
+    def test_levels_grow_with_protected_size(self):
+        tree = client_sgx_tree()
+        assert tree.levels(28 * TIB) > tree.levels(128 * MIB)
+
+    def test_higher_arity_gives_fewer_levels(self):
+        assert vault_tree().levels(1 * TIB) <= client_sgx_tree().levels(1 * TIB)
+        assert morphable_tree().levels(1 * TIB) <= vault_tree().levels(1 * TIB)
+
+    def test_extra_accesses_matches_levels(self):
+        tree = client_sgx_tree()
+        assert tree.extra_accesses_per_miss(64 * GIB) == tree.levels(64 * GIB)
+
+    def test_metadata_ratio_smaller_for_compressed_trees(self):
+        size = 64 * GIB
+        assert vault_tree().metadata_ratio(size) < client_sgx_tree().metadata_ratio(size)
+        assert morphable_tree().metadata_ratio(size) < vault_tree().metadata_ratio(size)
+
+    def test_client_sgx_metadata_ratio_order_of_magnitude(self):
+        # 7 B of leaf counters per 64 B block (1:9.14) plus interior nodes
+        # (8 B/block at level 1, 1 B/block at level 2, ...): roughly 25%.
+        ratio = client_sgx_tree().metadata_ratio(1 * GIB)
+        assert 0.15 < ratio < 0.35
+
+    def test_leaf_entries(self):
+        tree = client_sgx_tree()
+        assert tree.leaf_entries(64 * 100) == 100
+
+
+class TestScalingTable:
+    def test_default_sizes_present(self):
+        table = scaling_table()
+        assert "Client SGX" in table
+        sizes = table["Client SGX"]
+        assert sizes[128 * MIB] < sizes[28 * TIB]
+
+    def test_custom_sizes(self):
+        table = scaling_table([1 * GIB])
+        for model_rows in table.values():
+            assert list(model_rows) == [1 * GIB]

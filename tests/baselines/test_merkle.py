@@ -1,0 +1,109 @@
+"""Tests for the Merkle/counter-tree baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.merkle import MerkleTree, MerkleVerificationError
+from repro.core.config import MIB, TIB
+
+
+class TestGeometry:
+    def test_levels_grow_with_memory_size(self):
+        small = MerkleTree.levels_for_memory(128 * MIB, arity=8)
+        large = MerkleTree.levels_for_memory(28 * TIB, arity=8)
+        assert large > small
+        # The paper: ~7 extra accesses at 128 MB, ~13 at 28 TB for an 8-ary tree.
+        assert 6 <= small <= 8
+        assert 12 <= large <= 15
+
+    def test_higher_arity_reduces_depth(self):
+        assert MerkleTree.levels_for_memory(1 * TIB, arity=64) < MerkleTree.levels_for_memory(
+            1 * TIB, arity=8
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MerkleTree(num_blocks=0)
+        with pytest.raises(ValueError):
+            MerkleTree(num_blocks=8, arity=1)
+
+
+class TestUpdateVerify:
+    def test_update_then_verify_succeeds(self):
+        tree = MerkleTree(num_blocks=64, arity=8, node_cache_kib=0)
+        tree.update(5)
+        tree.verify(5)
+        assert tree.counter(5) == 1
+
+    def test_verify_untouched_block_succeeds(self):
+        tree = MerkleTree(num_blocks=64, arity=8, node_cache_kib=0)
+        tree.update(5)
+        tree.verify(10)
+
+    def test_update_touches_one_node_per_level(self):
+        tree = MerkleTree(num_blocks=4096, arity=8, node_cache_kib=0)
+        touched = tree.update(0)
+        assert touched == tree.levels
+
+    def test_out_of_range_block(self):
+        tree = MerkleTree(num_blocks=8)
+        with pytest.raises(IndexError):
+            tree.update(8)
+
+
+class TestTamperDetection:
+    def test_tampered_counter_detected(self):
+        tree = MerkleTree(num_blocks=64, arity=8, node_cache_kib=0)
+        tree.update(3)
+        tree.tamper_counter(3, value=999)
+        with pytest.raises(MerkleVerificationError):
+            tree.verify(3)
+
+    def test_replayed_subtree_detected(self):
+        tree = MerkleTree(num_blocks=64, arity=8, node_cache_kib=0)
+        tree.update(3)
+        stale = tree.snapshot_leaf(3)
+        tree.update(3)
+        tree.rollback_subtree(3, *stale)
+        with pytest.raises(MerkleVerificationError):
+            tree.verify(3)
+
+    def test_tampering_in_untouched_group_detected(self):
+        tree = MerkleTree(num_blocks=64, arity=8, node_cache_kib=0)
+        tree.update(0)
+        tree.tamper_counter(60, value=7)
+        with pytest.raises(MerkleVerificationError):
+            tree.verify(60)
+
+
+class TestNodeCache:
+    def test_cache_reduces_nodes_touched(self):
+        cold = MerkleTree(num_blocks=4096, arity=8, node_cache_kib=0)
+        warm = MerkleTree(num_blocks=4096, arity=8, node_cache_kib=32)
+        for _ in range(20):
+            cold.verify(0)
+            warm.verify(0)
+        assert warm.average_nodes_per_operation() < cold.average_nodes_per_operation()
+
+    def test_hit_rate_reported(self):
+        tree = MerkleTree(num_blocks=4096, arity=8, node_cache_kib=32)
+        for _ in range(10):
+            tree.verify(0)
+        assert 0.0 < tree.node_cache_hit_rate <= 1.0
+
+    def test_no_cache_hit_rate_zero(self):
+        tree = MerkleTree(num_blocks=64, node_cache_kib=0)
+        tree.verify(0)
+        assert tree.node_cache_hit_rate == 0.0
+
+
+class TestMerkleProperties:
+    @given(updates=st.lists(st.integers(0, 63), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_honest_updates_always_verify(self, updates):
+        tree = MerkleTree(num_blocks=64, arity=8, node_cache_kib=0)
+        for block in updates:
+            tree.update(block)
+        for block in set(updates):
+            tree.verify(block)
+            assert tree.counter(block) == updates.count(block)

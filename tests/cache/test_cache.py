@@ -1,0 +1,168 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import CacheStats, FullyAssociativeCache, SetAssociativeCache
+
+
+class TestGeometry:
+    def test_sets_and_ways(self):
+        cache = SetAssociativeCache(size_bytes=8192, ways=4, line_bytes=64)
+        assert cache.num_sets == 32
+        assert cache.capacity_lines == 128
+
+    def test_ways_capped_at_line_count(self):
+        cache = SetAssociativeCache(size_bytes=128, ways=16, line_bytes=64)
+        assert cache.ways == 2
+        assert cache.num_sets == 1
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=0, ways=1)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=32, ways=1, line_bytes=64)
+
+    def test_fully_associative_helper(self):
+        cache = FullyAssociativeCache(entries=8, line_bytes=64)
+        assert cache.num_sets == 1
+        assert cache.ways == 8
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(1024, 4)
+        hit, _ = cache.access(0x100)
+        assert not hit
+        hit, _ = cache.access(0x100)
+        assert hit
+
+    def test_same_block_different_offsets_hit(self):
+        cache = SetAssociativeCache(1024, 4)
+        cache.access(0x100)
+        hit, _ = cache.access(0x13F)
+        assert hit
+
+    def test_lookup_does_not_allocate(self):
+        cache = SetAssociativeCache(1024, 4)
+        assert not cache.lookup(0x200)
+        assert not cache.lookup(0x200)
+        assert cache.stats.misses == 2
+
+    def test_fill_does_not_affect_hit_stats(self):
+        cache = SetAssociativeCache(1024, 4)
+        cache.fill(0x300)
+        assert cache.stats.accesses == 0
+        assert cache.lookup(0x300)
+
+
+class TestLruReplacement:
+    def test_lru_victim_selected(self):
+        # One set, two ways.
+        cache = SetAssociativeCache(128, 2, line_bytes=64)
+        cache.access(0 * 64)
+        cache.access(1 * 64)
+        cache.access(0 * 64)       # 0 is now MRU
+        cache.access(2 * 64)       # evicts 1 (LRU)
+        assert cache.lookup(0 * 64)
+        assert not cache.lookup(1 * 64)
+
+    def test_eviction_counted(self):
+        cache = SetAssociativeCache(128, 2, line_bytes=64)
+        for i in range(3):
+            cache.access(i * 64)
+        assert cache.stats.evictions == 1
+
+    def test_dirty_eviction_counted(self):
+        cache = SetAssociativeCache(128, 2, line_bytes=64)
+        cache.access(0, is_write=True)
+        cache.access(64)
+        cache.access(128)
+        assert cache.stats.dirty_evictions == 1
+
+    def test_evicted_payload_returned(self):
+        cache = SetAssociativeCache(128, 2, line_bytes=64)
+        cache.access(0, payload="a")
+        cache.access(64, payload="b")
+        _, evicted = cache.access(128, payload="c")
+        assert evicted == "a"
+
+
+class TestPayloadAndInvalidate:
+    def test_peek_returns_payload_without_stats(self):
+        cache = SetAssociativeCache(1024, 4)
+        cache.fill(0x40, payload={"v": 1})
+        accesses_before = cache.stats.accesses
+        assert cache.peek(0x40) == {"v": 1}
+        assert cache.stats.accesses == accesses_before
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache(1024, 4)
+        cache.access(0x80)
+        assert cache.invalidate(0x80)
+        assert not cache.invalidate(0x80)
+        assert not cache.lookup(0x80)
+
+    def test_flush(self):
+        cache = SetAssociativeCache(1024, 4)
+        for i in range(5):
+            cache.access(i * 64)
+        assert cache.flush() == 5
+        assert cache.resident_lines == 0
+
+
+class TestStats:
+    def test_hit_and_miss_rates(self):
+        cache = SetAssociativeCache(1024, 4)
+        cache.access(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_empty_stats(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        assert stats.miss_rate == 0.0
+
+    def test_merge(self):
+        a = CacheStats(hits=1, misses=2, evictions=3)
+        b = CacheStats(hits=4, misses=5, evictions=6)
+        merged = a.merge(b)
+        assert merged.hits == 5
+        assert merged.misses == 7
+        assert merged.evictions == 9
+
+    def test_as_dict(self):
+        cache = SetAssociativeCache(1024, 4, name="test")
+        info = cache.as_dict()
+        assert info["name"] == "test"
+        assert info["ways"] == 4
+
+
+class TestCacheProperties:
+    @given(addresses=st.lists(st.integers(0, 2**20), min_size=1, max_size=500))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        cache = SetAssociativeCache(2048, 4, line_bytes=64)
+        for addr in addresses:
+            cache.access(addr)
+        assert cache.resident_lines <= cache.capacity_lines
+        assert 0.0 <= cache.occupancy() <= 1.0
+
+    @given(addresses=st.lists(st.integers(0, 2**16), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, addresses):
+        cache = SetAssociativeCache(1024, 2, line_bytes=64)
+        for addr in addresses:
+            cache.access(addr)
+        assert cache.stats.hits + cache.stats.misses == len(addresses)
+
+    @given(addresses=st.lists(st.integers(0, 2**14), min_size=2, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_immediate_re_access_always_hits(self, addresses):
+        cache = SetAssociativeCache(4096, 4, line_bytes=64)
+        for addr in addresses:
+            cache.access(addr)
+            hit, _ = cache.access(addr)
+            assert hit

@@ -1,0 +1,102 @@
+"""Tests for the three-level cache hierarchy."""
+
+import dataclasses
+
+import pytest
+
+from repro.cache.hierarchy import AccessLevel, CacheHierarchy
+from repro.core.config import CacheConfig, KIB, SystemConfig
+
+
+def tiny_config() -> SystemConfig:
+    """A small hierarchy so capacity behaviour is observable in unit tests."""
+    return dataclasses.replace(
+        SystemConfig(),
+        l1_config=CacheConfig("L1", 1 * KIB, 2, latency_cycles=4),
+        l2_config=CacheConfig("L2", 4 * KIB, 4, latency_cycles=14),
+        l3_config=CacheConfig("L3", 16 * KIB, 4, latency_cycles=49),
+    )
+
+
+class TestAccessPath:
+    def test_first_access_misses_to_memory(self):
+        hierarchy = CacheHierarchy(tiny_config())
+        result = hierarchy.access(0x1000)
+        assert result.level is AccessLevel.MEMORY
+        assert result.llc_miss
+
+    def test_second_access_hits_l1(self):
+        hierarchy = CacheHierarchy(tiny_config())
+        hierarchy.access(0x1000)
+        result = hierarchy.access(0x1000)
+        assert result.level is AccessLevel.L1
+        assert not result.llc_miss
+        assert result.hit
+
+    def test_l1_eviction_falls_back_to_l2(self):
+        hierarchy = CacheHierarchy(tiny_config())
+        hierarchy.access(0x0)
+        # Fill L1 (1 KB, 16 lines) with other blocks far enough to evict 0x0.
+        for i in range(1, 64):
+            hierarchy.access(i * 64)
+        result = hierarchy.access(0x0)
+        assert result.level in (AccessLevel.L2, AccessLevel.L3, AccessLevel.MEMORY)
+
+    def test_latencies_increase_down_the_hierarchy(self):
+        cfg = tiny_config()
+        hierarchy = CacheHierarchy(cfg)
+        miss = hierarchy.access(0x2000)
+        hit = hierarchy.access(0x2000)
+        assert miss.latency_cycles >= hit.latency_cycles
+
+
+class TestWritebacks:
+    def test_dirty_eviction_produces_writeback(self):
+        hierarchy = CacheHierarchy(tiny_config())
+        # Write a block, then stream enough new blocks through to evict it
+        # from the 16 KB L3 (256 lines).
+        hierarchy.access(0x0, is_write=True)
+        writebacks = []
+        for i in range(1, 600):
+            result = hierarchy.access(i * 64)
+            if result.writeback_address is not None:
+                writebacks.append(result.writeback_address)
+        assert 0x0 in writebacks
+        assert hierarchy.writebacks == len(writebacks)
+
+    def test_clean_blocks_do_not_write_back(self):
+        hierarchy = CacheHierarchy(tiny_config())
+        for i in range(600):
+            result = hierarchy.access(i * 64, is_write=False)
+            assert result.writeback_address is None
+        assert hierarchy.writebacks == 0
+
+
+class TestStatistics:
+    def test_llc_miss_rate_and_mpki(self):
+        hierarchy = CacheHierarchy(tiny_config())
+        for i in range(100):
+            hierarchy.access(i * 64)
+        assert hierarchy.llc_miss_rate() == pytest.approx(1.0)
+        assert hierarchy.mpki(instructions=100_000) == pytest.approx(1.0)
+        assert hierarchy.mpki(instructions=0) == 0.0
+
+    def test_memory_access_counter(self):
+        hierarchy = CacheHierarchy(tiny_config())
+        hierarchy.access(0)
+        hierarchy.access(0)
+        assert hierarchy.memory_accesses == 1
+
+    def test_flush_clears_all_levels(self):
+        hierarchy = CacheHierarchy(tiny_config())
+        hierarchy.access(0)
+        hierarchy.flush()
+        result = hierarchy.access(0)
+        assert result.level is AccessLevel.MEMORY
+
+
+class TestDefaultConfiguration:
+    def test_default_uses_table3_geometry(self):
+        hierarchy = CacheHierarchy()
+        assert hierarchy.l3.size_bytes == SystemConfig().l3_config.size_bytes
+        assert hierarchy.l1.size_bytes == SystemConfig().l1_config.size_bytes

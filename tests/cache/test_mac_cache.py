@@ -1,0 +1,50 @@
+"""Tests for the MAC metadata cache."""
+
+import pytest
+
+from repro.cache.mac_cache import MacCache
+from repro.core.config import CACHE_BLOCK_BYTES, MACS_PER_BLOCK, SystemConfig
+
+
+class TestMacBlockMapping:
+    def test_eight_data_blocks_share_one_mac_block(self):
+        base = MacCache.mac_block_address(0)
+        for i in range(MACS_PER_BLOCK):
+            assert MacCache.mac_block_address(i * CACHE_BLOCK_BYTES) == base
+        assert MacCache.mac_block_address(MACS_PER_BLOCK * CACHE_BLOCK_BYTES) != base
+
+    def test_mac_block_addresses_are_block_aligned(self):
+        for addr in (0, 64, 12345, 1 << 30):
+            assert MacCache.mac_block_address(addr) % CACHE_BLOCK_BYTES == 0
+
+
+class TestCachingBehaviour:
+    def test_spatially_local_accesses_hit(self):
+        cache = MacCache()
+        assert not cache.access(0)
+        # Adjacent blocks covered by the same MAC block all hit.
+        for i in range(1, MACS_PER_BLOCK):
+            assert cache.access(i * CACHE_BLOCK_BYTES)
+        assert cache.hit_rate == pytest.approx((MACS_PER_BLOCK - 1) / MACS_PER_BLOCK)
+
+    def test_poor_spatial_locality_hurts_hit_rate(self):
+        cache = MacCache(size_bytes=4096, ways=4)
+        stride = MACS_PER_BLOCK * CACHE_BLOCK_BYTES
+        for i in range(1000):
+            cache.access(i * stride)
+        assert cache.hit_rate < 0.1
+
+    def test_invalidate_and_flush(self):
+        cache = MacCache()
+        cache.access(0)
+        assert cache.invalidate_for(0)
+        assert not cache.access(0)
+        cache.access(0)
+        assert cache.flush() >= 1
+
+    def test_default_size_from_config(self):
+        cfg = SystemConfig()
+        assert MacCache(config=cfg).size_bytes == cfg.mac_cache_bytes
+
+    def test_explicit_size_overrides_config(self):
+        assert MacCache(size_bytes=8192, ways=2).size_bytes == 8192

@@ -1,0 +1,78 @@
+"""Tests for the TLB with the stealth-version extension."""
+
+import pytest
+
+from repro.cache.tlb import Tlb
+from repro.core.config import FLAT_ENTRY_BYTES
+
+
+class TestTranslation:
+    def test_miss_then_hit(self):
+        tlb = Tlb(entries=4)
+        assert tlb.lookup(10) is None
+        tlb.insert(10, ppn=99)
+        entry = tlb.lookup(10)
+        assert entry is not None and entry.ppn == 99
+
+    def test_lru_eviction(self):
+        tlb = Tlb(entries=2)
+        tlb.insert(1, 1)
+        tlb.insert(2, 2)
+        tlb.lookup(1)          # 1 becomes MRU
+        evicted = tlb.insert(3, 3)
+        assert evicted is not None and evicted.vpn == 2
+        assert tlb.lookup(2) is None
+
+    def test_insert_existing_updates_in_place(self):
+        tlb = Tlb(entries=2)
+        tlb.insert(1, 1)
+        assert tlb.insert(1, 5) is None
+        assert tlb.lookup(1).ppn == 5
+
+    def test_invalid_entry_count(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=0)
+
+    def test_flush_and_invalidate(self):
+        tlb = Tlb(entries=4)
+        tlb.insert(1, 1)
+        tlb.insert(2, 2)
+        assert tlb.invalidate(1)
+        assert not tlb.invalidate(1)
+        assert tlb.flush() == 1
+        assert tlb.resident == 0
+
+
+class TestStealthExtension:
+    def test_stealth_fill_and_lookup(self):
+        tlb = Tlb(entries=4)
+        tlb.stealth_fill(5, payload={"base": 1})
+        assert tlb.stealth_lookup(5) == {"base": 1}
+
+    def test_stealth_miss_recorded(self):
+        tlb = Tlb(entries=4)
+        assert tlb.stealth_lookup(9) is None
+        assert tlb.stealth_stats.misses == 1
+
+    def test_translation_without_payload_is_stealth_miss(self):
+        tlb = Tlb(entries=4)
+        tlb.insert(7, 7)  # no stealth payload attached
+        assert tlb.stealth_lookup(7) is None
+
+    def test_extension_disabled_raises(self):
+        tlb = Tlb(entries=4, stealth_extension=False)
+        with pytest.raises(RuntimeError):
+            tlb.stealth_lookup(1)
+        with pytest.raises(RuntimeError):
+            tlb.stealth_fill(1, payload=None)
+
+    def test_extension_bytes(self):
+        assert Tlb(entries=256).extension_bytes == 256 * FLAT_ENTRY_BYTES
+        assert Tlb(entries=256, stealth_extension=False).extension_bytes == 0
+
+    def test_stealth_rides_with_translation_eviction(self):
+        tlb = Tlb(entries=2)
+        tlb.stealth_fill(1, payload="a")
+        tlb.stealth_fill(2, payload="b")
+        tlb.stealth_fill(3, payload="c")   # evicts page 1
+        assert tlb.stealth_lookup(1) is None

@@ -1,0 +1,71 @@
+"""Shared pytest fixtures for the Toleo reproduction test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Safety net: allow running the tests from a source checkout even when the
+# package has not been pip-installed (e.g. a fresh offline environment).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.config import SystemConfig, ToleoConfig
+from repro.core.protection import MemoryProtectionEngine, ProtectionLevel
+from repro.core.toleo import ToleoDevice
+from repro.core.trip import TripPageTable
+from repro.core.versions import StealthVersionPolicy
+from repro.crypto.rng import DRangeRng
+
+
+@pytest.fixture
+def rng():
+    """A deterministic D-RaNGe RNG."""
+    return DRangeRng(seed=42)
+
+
+@pytest.fixture
+def policy(rng):
+    """A stealth-version policy with the paper's parameters."""
+    return StealthVersionPolicy(rng=rng)
+
+
+@pytest.fixture
+def fast_reset_policy():
+    """A policy with a high reset probability, so resets occur in small tests."""
+    return StealthVersionPolicy(rng=DRangeRng(seed=7), reset_probability=0.05)
+
+
+@pytest.fixture
+def trip_table(policy):
+    return TripPageTable(policy=policy)
+
+
+@pytest.fixture
+def toleo_device():
+    return ToleoDevice(rng=DRangeRng(seed=11))
+
+
+@pytest.fixture
+def system_config():
+    return SystemConfig()
+
+
+@pytest.fixture
+def toleo_config():
+    return ToleoConfig()
+
+
+@pytest.fixture
+def cif_engine():
+    """A full Toleo (confidentiality + integrity + freshness) engine."""
+    return MemoryProtectionEngine(level=ProtectionLevel.CIF)
+
+
+@pytest.fixture
+def ci_engine():
+    """A Scalable-SGX-style engine (no freshness)."""
+    return MemoryProtectionEngine(level=ProtectionLevel.CI)

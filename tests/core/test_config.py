@@ -1,0 +1,122 @@
+"""Tests for the architectural constants and configuration objects."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import config as C
+from repro.core.config import CacheConfig, SystemConfig, ToleoConfig
+
+
+class TestConstants:
+    def test_page_geometry(self):
+        assert C.PAGE_BYTES == 4096
+        assert C.CACHE_BLOCK_BYTES == 64
+        assert C.BLOCKS_PER_PAGE == 64
+
+    def test_version_split_adds_to_64_bits(self):
+        assert C.STEALTH_VERSION_BITS + C.UPPER_VERSION_BITS == C.FULL_VERSION_BITS
+        assert C.STEALTH_VERSION_BITS == 27
+        assert C.UPPER_VERSION_BITS == 37
+
+    def test_reset_probability_is_2_to_minus_20(self):
+        assert C.STEALTH_RESET_PROBABILITY == pytest.approx(2.0 ** -20)
+
+    def test_trip_entry_sizes(self):
+        assert C.FLAT_ENTRY_BYTES == 12
+        assert C.UNEVEN_ENTRY_BYTES == 56
+        assert C.FULL_ENTRY_BYTES == 216
+        assert C.FULL_ENTRY_BLOCKS * C.UNEVEN_ENTRY_BYTES >= C.FULL_ENTRY_BYTES
+
+    def test_uneven_offset_range(self):
+        assert C.UNEVEN_OFFSET_BITS == 7
+        assert C.UNEVEN_MAX_STRIDE == 127
+
+    def test_mac_packing(self):
+        # Eight 56-bit MACs fit in a 64-byte block with 64 spare bits for UV.
+        assert C.MACS_PER_BLOCK * C.MAC_BITS <= C.CACHE_BLOCK_BYTES * 8
+        spare = C.CACHE_BLOCK_BYTES * 8 - C.MACS_PER_BLOCK * C.MAC_BITS
+        assert spare == 64
+
+
+class TestToleoConfig:
+    def test_default_capacity_is_168_gb(self, toleo_config):
+        assert toleo_config.capacity_bytes == 168 * C.GIB
+
+    def test_dynamic_region_is_capacity_minus_flat(self, toleo_config):
+        assert (
+            toleo_config.dynamic_region_bytes
+            == toleo_config.capacity_bytes - toleo_config.flat_region_bytes
+        )
+        # The paper's split: 74.6 GB flat, ~93.4 GB dynamic.
+        assert toleo_config.dynamic_region_bytes == pytest.approx(93.4 * C.GIB, rel=0.01)
+
+    def test_flat_entry_capacity_covers_protected_pages(self, toleo_config):
+        assert toleo_config.flat_entry_capacity >= toleo_config.protected_pages
+
+    def test_access_latency_combines_link_and_dram(self, toleo_config):
+        assert toleo_config.access_latency_ns == pytest.approx(
+            toleo_config.link_latency_ns + toleo_config.dram_access_latency_ns
+        )
+
+    def test_scaled_preserves_flat_to_dynamic_ratio(self, toleo_config):
+        scaled = toleo_config.scaled(1 * C.GIB)
+        assert scaled.protected_data_bytes == 1 * C.GIB
+        original_ratio = toleo_config.dynamic_region_bytes / toleo_config.flat_region_bytes
+        scaled_ratio = scaled.dynamic_region_bytes / scaled.flat_region_bytes
+        assert scaled_ratio == pytest.approx(original_ratio, rel=0.01)
+
+    def test_scaled_flat_region_matches_page_count(self, toleo_config):
+        scaled = toleo_config.scaled(16 * C.MIB)
+        pages = 16 * C.MIB // C.PAGE_BYTES
+        assert scaled.flat_region_bytes == pages * C.FLAT_ENTRY_BYTES
+
+    def test_frozen(self, toleo_config):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            toleo_config.capacity_bytes = 0
+
+
+class TestCacheConfig:
+    def test_sets_computation(self):
+        cfg = CacheConfig("L1", 32 * C.KIB, 8, line_bytes=64)
+        assert cfg.sets == 64
+
+    def test_single_set_minimum(self):
+        cfg = CacheConfig("tiny", 64, 4, line_bytes=64)
+        assert cfg.sets == 1
+
+
+class TestSystemConfig:
+    def test_table3_defaults(self, system_config):
+        assert system_config.cores == 32
+        assert system_config.frequency_ghz == pytest.approx(2.25)
+        assert system_config.l1_config.size_bytes == 32 * C.KIB
+        assert system_config.l2_config.size_bytes == 1 * C.MIB
+        assert system_config.l3_config.size_bytes == 16 * C.MIB
+        assert system_config.mac_cache_bytes == 1 * C.MIB
+        assert system_config.tlb_stealth_entries == 256
+        assert system_config.stealth_overflow_buffer_bytes == 28 * C.KIB
+
+    def test_overflow_entries_match_paper(self, system_config):
+        # 28 KB of 56-byte entries = 512 entries.
+        assert system_config.stealth_overflow_entries == 512
+
+    def test_total_memory(self, system_config):
+        assert (
+            system_config.total_memory_bytes
+            == system_config.local_dram_bytes + system_config.cxl_pool_bytes
+        )
+
+    def test_cxl_fraction_between_zero_and_one(self, system_config):
+        assert 0.0 < system_config.cxl_fraction < 1.0
+
+    def test_cycle_time(self, system_config):
+        assert system_config.cycle_ns == pytest.approx(1.0 / 2.25)
+
+    def test_down_scaled_redis_configuration(self, system_config):
+        scaled = system_config.down_scaled(1.0 / 3.0)
+        assert scaled.cores == 10  # int(32/3)
+        assert scaled.l3_config.size_bytes < system_config.l3_config.size_bytes
+        assert scaled.mac_cache_bytes < system_config.mac_cache_bytes
+        # Unscaled fields are untouched.
+        assert scaled.l1_config == system_config.l1_config

@@ -1,0 +1,177 @@
+"""Tests for the memory-protection engine (confidentiality, integrity, freshness)."""
+
+import pytest
+
+from repro.core.config import PAGE_BYTES, ToleoConfig, SystemConfig
+from repro.core.protection import (
+    KillSwitchError,
+    MemoryProtectionEngine,
+    ProtectionLevel,
+)
+from repro.core.toleo import ToleoDevice
+from repro.crypto.rng import DRangeRng
+
+
+def block(content: bytes) -> bytes:
+    """Pad content to a full 64-byte cache block."""
+    return content + bytes(64 - len(content))
+
+
+class TestProtectionLevels:
+    def test_level_capabilities(self):
+        assert not ProtectionLevel.NONE.encrypts
+        assert ProtectionLevel.C.encrypts and not ProtectionLevel.C.has_integrity
+        assert ProtectionLevel.CI.has_integrity and not ProtectionLevel.CI.has_freshness
+        assert ProtectionLevel.CIF.has_freshness
+
+    def test_none_level_stores_plaintext(self):
+        engine = MemoryProtectionEngine(level=ProtectionLevel.NONE)
+        engine.write_block(0x1000, block(b"plain"))
+        assert engine.memory.read_data(0x1000) == block(b"plain")
+
+    def test_encrypting_levels_store_ciphertext(self):
+        for level in (ProtectionLevel.C, ProtectionLevel.CI, ProtectionLevel.CIF):
+            engine = MemoryProtectionEngine(level=level)
+            engine.write_block(0x1000, block(b"secret"))
+            assert engine.memory.read_data(0x1000) != block(b"secret")
+
+
+class TestWriteReadRoundTrip:
+    def test_roundtrip_cif(self, cif_engine):
+        data = block(b"genome-fragment-ACGT")
+        cif_engine.write_block(0x2000, data)
+        assert cif_engine.read_block(0x2000) == data
+
+    def test_roundtrip_many_blocks(self, cif_engine):
+        blocks = {0x3000 + i * 64: block(bytes([i]) * 8) for i in range(32)}
+        for addr, data in blocks.items():
+            cif_engine.write_block(addr, data)
+        for addr, data in blocks.items():
+            assert cif_engine.read_block(addr) == data
+
+    def test_overwrite_returns_latest_value(self, cif_engine):
+        cif_engine.write_block(0x4000, block(b"v1"))
+        cif_engine.write_block(0x4000, block(b"v2"))
+        assert cif_engine.read_block(0x4000) == block(b"v2")
+
+    def test_read_of_unwritten_address_raises(self, cif_engine):
+        with pytest.raises(KeyError):
+            cif_engine.read_block(0x9999000)
+
+    def test_roundtrip_ci(self, ci_engine):
+        ci_engine.write_block(0x2000, block(b"value"))
+        assert ci_engine.read_block(0x2000) == block(b"value")
+
+
+class TestConfidentiality:
+    def test_same_value_writes_produce_different_ciphertexts_with_freshness(self, cif_engine):
+        data = block(b"same-value")
+        cif_engine.write_block(0x5000, data)
+        first = cif_engine.memory.read_data(0x5000)
+        cif_engine.write_block(0x5000, data)
+        second = cif_engine.memory.read_data(0x5000)
+        assert first != second
+
+    def test_same_value_writes_repeat_without_freshness(self, ci_engine):
+        # Scalable-SGX-style deterministic encryption: the Table 1 weakness.
+        data = block(b"same-value")
+        ci_engine.write_block(0x5000, data)
+        first = ci_engine.memory.read_data(0x5000)
+        ci_engine.write_block(0x5000, data)
+        second = ci_engine.memory.read_data(0x5000)
+        assert first == second
+
+
+class TestIntegrity:
+    def test_tampered_ciphertext_trips_kill_switch(self, cif_engine):
+        cif_engine.write_block(0x6000, block(b"important"))
+        ciphertext = cif_engine.memory.read_data(0x6000)
+        tampered = bytes([ciphertext[0] ^ 0xFF]) + ciphertext[1:]
+        cif_engine.memory.tamper_data(0x6000, tampered)
+        with pytest.raises(KillSwitchError):
+            cif_engine.read_block(0x6000)
+        assert cif_engine.stats.kill_switch_trips == 1
+
+    def test_tampering_detected_in_ci_mode_too(self, ci_engine):
+        ci_engine.write_block(0x6000, block(b"important"))
+        ciphertext = ci_engine.memory.read_data(0x6000)
+        ci_engine.memory.tamper_data(0x6000, bytes(len(ciphertext)))
+        with pytest.raises(KillSwitchError):
+            ci_engine.read_block(0x6000)
+
+    def test_c_mode_does_not_detect_tampering(self):
+        engine = MemoryProtectionEngine(level=ProtectionLevel.C)
+        engine.write_block(0x6000, block(b"important"))
+        engine.memory.tamper_data(0x6000, bytes(64))
+        # Decryption succeeds (to garbage) because there is no MAC check.
+        garbage = engine.read_block(0x6000)
+        assert garbage != block(b"important")
+
+
+class TestFreshness:
+    def test_replayed_block_trips_kill_switch(self, cif_engine):
+        addr = 0x7000
+        cif_engine.write_block(addr, block(b"balance=100"))
+        snapshot = cif_engine.memory.snapshot(addr)
+        cif_engine.write_block(addr, block(b"balance=0"))
+        cif_engine.memory.replay(addr, snapshot)
+        with pytest.raises(KillSwitchError):
+            cif_engine.read_block(addr)
+
+    def test_replay_not_detected_without_freshness(self, ci_engine):
+        addr = 0x7000
+        ci_engine.write_block(addr, block(b"balance=100"))
+        snapshot = ci_engine.memory.snapshot(addr)
+        ci_engine.write_block(addr, block(b"balance=0"))
+        ci_engine.memory.replay(addr, snapshot)
+        # CI cannot tell: the stale (ciphertext, MAC) pair is self-consistent.
+        assert ci_engine.read_block(addr) == block(b"balance=100")
+
+    def test_free_page_scrambles_contents(self, cif_engine):
+        addr = 0x8000
+        cif_engine.write_block(addr, block(b"sensitive"))
+        page = addr // PAGE_BYTES
+        cif_engine.free_page(page)
+        with pytest.raises(KillSwitchError):
+            cif_engine.read_block(addr)
+
+
+class TestStealthResetReencryption:
+    def test_reset_triggers_page_reencryption_and_data_survives(self):
+        toleo = ToleoDevice(
+            config=ToleoConfig(reset_probability=0.05), rng=DRangeRng(seed=13)
+        )
+        engine = MemoryProtectionEngine(level=ProtectionLevel.CIF, toleo=toleo)
+        addresses = [0x10000 + i * 64 for i in range(64)]
+        # Populate the whole page once.
+        for i, addr in enumerate(addresses):
+            engine.write_block(addr, block(bytes([0, i])))
+        # Hammer one block: every write to the page's leading version runs the
+        # probabilistic reset check, so with p = 5% several resets fire.
+        for round_index in range(200):
+            engine.write_block(addresses[0], block(bytes([1, round_index % 250])))
+        assert engine.stats.page_reencryptions > 0
+        assert engine.stats.blocks_reencrypted > 0
+        # Every block in the page still decrypts to its latest value.
+        assert engine.read_block(addresses[0]) == block(bytes([1, 199 % 250]))
+        for i, addr in enumerate(addresses[1:], start=1):
+            assert engine.read_block(addr) == block(bytes([0, i]))
+
+
+class TestStatistics:
+    def test_counters_increment(self, cif_engine):
+        cif_engine.write_block(0x9000, block(b"x"))
+        cif_engine.read_block(0x9000)
+        stats = cif_engine.stats
+        assert stats.writes == 1
+        assert stats.reads == 1
+        assert stats.toleo_updates == 1
+        assert stats.toleo_reads == 1
+        assert stats.aes_operations >= 2
+        assert stats.mac_checks == 1
+
+    def test_stealth_cache_hit_rate_reported(self, cif_engine):
+        for i in range(16):
+            cif_engine.write_block(0xA000 + i * 64, block(b"y"))
+        assert 0.0 <= cif_engine.stealth_cache_hit_rate <= 1.0
+        assert 0.0 <= cif_engine.mac_cache_hit_rate <= 1.0

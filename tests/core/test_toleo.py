@@ -1,0 +1,172 @@
+"""Tests for the Toleo smart-memory device model."""
+
+import pytest
+
+from repro.core.config import BLOCKS_PER_PAGE, ToleoConfig, GIB, MIB
+from repro.core.toleo import (
+    ToleoCapacityError,
+    ToleoDevice,
+    ToleoRequest,
+    ToleoRequestType,
+)
+from repro.core.trip import TripFormat
+from repro.crypto.rng import DRangeRng
+
+
+class TestRequestValidation:
+    def test_negative_page_rejected(self):
+        with pytest.raises(ValueError):
+            ToleoRequest(ToleoRequestType.READ, page=-1)
+
+    def test_block_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ToleoRequest(ToleoRequestType.READ, page=0, block=BLOCKS_PER_PAGE)
+
+
+class TestBasicOperation:
+    def test_read_returns_stealth_version(self, toleo_device):
+        response = toleo_device.read(page=1, block=2)
+        assert response.stealth is not None
+        assert 0 <= response.stealth < (1 << 27)
+        assert not response.uv_update
+
+    def test_update_increments_version(self, toleo_device):
+        before = toleo_device.read(1, 2).stealth
+        after = toleo_device.update(1, 2).stealth
+        assert after == (before + 1) % (1 << 27)
+
+    def test_read_after_update_sees_new_version(self, toleo_device):
+        updated = toleo_device.update(1, 2).stealth
+        assert toleo_device.read(1, 2).stealth == updated
+
+    def test_handle_dispatches_by_request_type(self, toleo_device):
+        read = toleo_device.handle(ToleoRequest(ToleoRequestType.READ, 3, 1))
+        update = toleo_device.handle(ToleoRequest(ToleoRequestType.UPDATE, 3, 1))
+        reset = toleo_device.handle(ToleoRequest(ToleoRequestType.RESET, 3))
+        assert read.stealth is not None
+        assert update.stealth == (read.stealth + 1) % (1 << 27)
+        assert reset.stealth is None
+        assert toleo_device.stats.reads == 1
+        assert toleo_device.stats.updates == 1
+        assert toleo_device.stats.resets == 1
+
+    def test_per_host_request_accounting(self, toleo_device):
+        toleo_device.handle(ToleoRequest(ToleoRequestType.READ, 0, 0), host_id=0)
+        toleo_device.handle(ToleoRequest(ToleoRequestType.READ, 0, 0), host_id=1)
+        toleo_device.handle(ToleoRequest(ToleoRequestType.READ, 0, 0), host_id=1)
+        assert toleo_device.stats.requests_per_host == {0: 1, 1: 2}
+
+    def test_response_latency_and_bytes(self, toleo_device):
+        response = toleo_device.read(0, 0)
+        assert response.latency_ns == pytest.approx(
+            toleo_device.config.access_latency_ns
+        )
+        assert response.bytes_transferred == ToleoDevice.TRANSFER_BYTES
+
+
+class TestUvUpdate:
+    def test_reset_triggers_uv_update_flag_and_callback(self):
+        pages_to_reencrypt = []
+        device = ToleoDevice(
+            config=ToleoConfig(reset_probability=1.0),
+            rng=DRangeRng(seed=5),
+            uv_update_callback=pages_to_reencrypt.append,
+        )
+        response = device.update(7, 0)
+        assert response.uv_update
+        assert pages_to_reencrypt == [7]
+        assert device.stats.uv_updates == 1
+
+    def test_no_uv_update_when_reset_disabled(self):
+        device = ToleoDevice(
+            config=ToleoConfig(reset_probability=0.0), rng=DRangeRng(seed=5)
+        )
+        for _ in range(200):
+            assert not device.update(7, 0).uv_update
+
+
+class TestReset:
+    def test_reset_downgrades_page(self, toleo_device):
+        toleo_device.update(4, 0)
+        toleo_device.update(4, 0)
+        assert toleo_device.table.format_of(4) is TripFormat.UNEVEN
+        toleo_device.reset(4)
+        assert toleo_device.table.format_of(4) is TripFormat.FLAT
+
+
+class TestSpaceAccounting:
+    def test_flat_bytes_grow_with_touched_pages(self, toleo_device):
+        for page in range(10):
+            toleo_device.read(page, 0)
+        assert toleo_device.flat_bytes_used() == 10 * 12
+
+    def test_dynamic_bytes_grow_with_upgrades(self, toleo_device):
+        toleo_device.update(0, 0)
+        assert toleo_device.dynamic_bytes_used() == 0
+        toleo_device.update(0, 0)  # uneven
+        assert toleo_device.dynamic_bytes_used() == 56
+
+    def test_usage_breakdown_keys(self, toleo_device):
+        toleo_device.update(0, 0)
+        breakdown = toleo_device.usage_breakdown()
+        assert set(breakdown) == {"flat", "uneven", "full"}
+
+    def test_snapshot_usage_appends_to_timeline(self, toleo_device):
+        toleo_device.update(0, 0)
+        toleo_device.snapshot_usage()
+        toleo_device.update(1, 0)
+        toleo_device.snapshot_usage()
+        assert len(toleo_device.usage_timeline) == 2
+        assert toleo_device.usage_timeline[1]["flat"] >= toleo_device.usage_timeline[0]["flat"]
+
+    def test_peak_dynamic_bytes_tracked(self, toleo_device):
+        toleo_device.update(0, 0)
+        toleo_device.update(0, 0)
+        assert toleo_device.stats.peak_dynamic_bytes >= 56
+
+    def test_provisioned_flat_bytes_matches_paper_scale(self):
+        device = ToleoDevice(rng=DRangeRng(seed=0))
+        # 24.8 TB of 4 KB pages at 12 B per flat entry ~= 74.6 GB.
+        provisioned = device.provisioned_flat_bytes()
+        assert provisioned == pytest.approx(74.6 * GIB, rel=0.02)
+
+
+class TestCapacityEnforcement:
+    def _tiny_device(self, strict=True):
+        # A device provisioned for a very small protected footprint so the
+        # dynamic region is only a few entries.
+        config = ToleoConfig().scaled(64 * 4096)  # 64 pages protected
+        return ToleoDevice(config=config, rng=DRangeRng(seed=1), strict_capacity=strict)
+
+    def test_strict_capacity_raises_when_exhausted(self):
+        device = self._tiny_device(strict=True)
+        with pytest.raises(ToleoCapacityError):
+            # Force many pages to upgrade to uneven entries.
+            for page in range(100):
+                device.update(page, 0)
+                device.update(page, 0)
+
+    def test_non_strict_capacity_counts_rejections(self):
+        device = self._tiny_device(strict=False)
+        for page in range(100):
+            device.update(page, 0)
+            device.update(page, 0)
+        assert device.stats.rejected_updates > 0
+
+    def test_downgrades_free_space_for_new_upgrades(self):
+        device = self._tiny_device(strict=True)
+        upgraded = []
+        try:
+            for page in range(100):
+                device.update(page, 0)
+                device.update(page, 0)
+                upgraded.append(page)
+        except ToleoCapacityError:
+            pass
+        assert upgraded, "expected at least one successful upgrade before exhaustion"
+        # Free every upgraded page, then a new upgrade must succeed again.
+        for page in upgraded:
+            device.reset(page)
+        device.update(10_000, 0)
+        device.update(10_000, 0)
+        assert device.table.format_of(10_000) is TripFormat.UNEVEN

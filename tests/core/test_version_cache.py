@@ -1,0 +1,88 @@
+"""Tests for the stealth-version caching structures (TLB extension + overflow)."""
+
+import pytest
+
+from repro.core.config import SystemConfig, FULL_ENTRY_BLOCKS, KIB
+from repro.core.trip import TripFormat
+from repro.core.version_cache import StealthVersionCache
+
+
+@pytest.fixture
+def cache():
+    return StealthVersionCache(config=SystemConfig())
+
+
+class TestFlatPathViaTlb:
+    def test_first_access_misses_then_hits(self, cache):
+        first = cache.access(page=1, fmt=TripFormat.FLAT)
+        second = cache.access(page=1, fmt=TripFormat.FLAT)
+        assert not first.hit and first.source == "toleo"
+        assert second.hit and second.source == "tlb"
+
+    def test_distinct_pages_tracked_separately(self, cache):
+        cache.access(1, TripFormat.FLAT)
+        result = cache.access(2, TripFormat.FLAT)
+        assert not result.hit
+
+    def test_tlb_capacity_eviction(self):
+        cfg = SystemConfig()
+        cache = StealthVersionCache(config=cfg)
+        n = cfg.tlb_stealth_entries
+        for page in range(n + 1):
+            cache.access(page, TripFormat.FLAT)
+        # Page 0 was evicted by the (n+1)-th insertion (LRU).
+        result = cache.access(0, TripFormat.FLAT)
+        assert not result.hit
+
+    def test_hit_rate_for_page_local_stream(self, cache):
+        # 64 consecutive block misses in the same page -> 1 miss + 63 hits.
+        for _ in range(64):
+            cache.access(7, TripFormat.FLAT)
+        assert cache.hit_rate == pytest.approx(63 / 64)
+
+
+class TestOverflowPath:
+    def test_uneven_entry_occupies_one_block(self, cache):
+        miss = cache.access(3, TripFormat.UNEVEN)
+        hit = cache.access(3, TripFormat.UNEVEN)
+        assert not miss.hit and miss.blocks_fetched == 1
+        assert hit.hit and hit.source == "overflow"
+
+    def test_full_entry_occupies_four_blocks(self, cache):
+        miss = cache.access(4, TripFormat.FULL)
+        assert not miss.hit
+        assert miss.blocks_fetched == FULL_ENTRY_BLOCKS
+        hit = cache.access(4, TripFormat.FULL)
+        assert hit.hit
+
+    def test_flat_and_overflow_paths_are_independent(self, cache):
+        cache.access(5, TripFormat.FLAT)
+        result = cache.access(5, TripFormat.UNEVEN)
+        assert not result.hit  # format change means the overflow entry is cold
+
+
+class TestInvalidate:
+    def test_invalidate_drops_both_structures(self, cache):
+        cache.access(9, TripFormat.FLAT)
+        cache.access(9, TripFormat.FULL)
+        cache.invalidate(9)
+        assert not cache.access(9, TripFormat.FLAT).hit
+        # The overflow entry also went cold; clear the TLB hit we just caused.
+        cache.invalidate(9)
+        assert not cache.access(9, TripFormat.FULL).hit
+
+
+class TestStatsAndSizing:
+    def test_combined_hit_rate_merges_both_structures(self, cache):
+        cache.access(1, TripFormat.FLAT)
+        cache.access(1, TripFormat.FLAT)
+        cache.access(2, TripFormat.UNEVEN)
+        cache.access(2, TripFormat.UNEVEN)
+        combined = cache.combined_stats
+        assert combined.hits == 2
+        assert combined.misses == 2
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_on_chip_bytes_matches_paper_area(self, cache):
+        # 256-entry x 12 B TLB extension (3 KB) + 28 KB overflow buffer.
+        assert cache.on_chip_bytes == 3 * KIB + 28 * KIB

@@ -1,0 +1,136 @@
+"""Tests for stealth/full version arithmetic and the reset policy."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.versions import (
+    FullVersion,
+    StealthVersionPolicy,
+    STEALTH_BITS,
+    STEALTH_SPACE,
+    UV_BITS,
+)
+from repro.crypto.rng import DRangeRng
+
+
+class TestFullVersion:
+    def test_value_concatenates_uv_and_stealth(self):
+        v = FullVersion(upper=3, stealth=5)
+        assert v.value == (3 << STEALTH_BITS) | 5
+
+    def test_rejects_out_of_range_stealth(self):
+        with pytest.raises(ValueError):
+            FullVersion(upper=0, stealth=1 << STEALTH_BITS)
+
+    def test_rejects_negative_upper(self):
+        with pytest.raises(ValueError):
+            FullVersion(upper=-1, stealth=0)
+
+    def test_bump_upper(self):
+        v = FullVersion(upper=1, stealth=7)
+        assert v.bump_upper().upper == 2
+        assert v.bump_upper().stealth == 7
+
+    def test_with_stealth(self):
+        v = FullVersion(upper=1, stealth=7)
+        assert v.with_stealth(9).stealth == 9
+        assert v.with_stealth(9).upper == 1
+
+    @given(upper=st.integers(0, 2**UV_BITS - 1), stealth=st.integers(0, STEALTH_SPACE - 1))
+    def test_value_is_injective(self, upper, stealth):
+        v = FullVersion(upper=upper, stealth=stealth)
+        assert v.value >> STEALTH_BITS == upper
+        assert v.value & (STEALTH_SPACE - 1) == stealth
+
+
+class TestStealthVersionPolicy:
+    def test_initial_value_in_range(self, policy):
+        for _ in range(100):
+            value = policy.initial_value()
+            assert 0 <= value < STEALTH_SPACE
+
+    def test_increment_advances_by_one_without_reset(self):
+        policy = StealthVersionPolicy(rng=DRangeRng(seed=1), reset_probability=0.0)
+        outcome = policy.increment(10)
+        assert outcome.stealth == 11
+        assert not outcome.reset
+        assert not outcome.wrapped
+
+    def test_increment_wraps_at_space_boundary(self):
+        policy = StealthVersionPolicy(rng=DRangeRng(seed=1), reset_probability=0.0)
+        outcome = policy.increment(STEALTH_SPACE - 1)
+        assert outcome.stealth == 0
+        assert outcome.wrapped
+
+    def test_increment_rejects_out_of_range(self, policy):
+        with pytest.raises(ValueError):
+            policy.increment(STEALTH_SPACE)
+        with pytest.raises(ValueError):
+            policy.increment(-1)
+
+    def test_reset_probability_one_always_resets(self):
+        policy = StealthVersionPolicy(rng=DRangeRng(seed=2), reset_probability=1.0)
+        outcomes = [policy.increment(5) for _ in range(50)]
+        assert all(o.reset for o in outcomes)
+
+    def test_reset_probability_zero_never_resets(self):
+        policy = StealthVersionPolicy(rng=DRangeRng(seed=2), reset_probability=0.0)
+        outcomes = [policy.increment(5) for _ in range(500)]
+        assert not any(o.reset for o in outcomes)
+
+    def test_reset_rate_close_to_configured_probability(self):
+        p = 0.05
+        policy = StealthVersionPolicy(rng=DRangeRng(seed=3), reset_probability=p)
+        n = 20_000
+        resets = sum(policy.increment(1).reset for _ in range(n))
+        assert resets / n == pytest.approx(p, rel=0.3)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            StealthVersionPolicy(stealth_bits=0)
+        with pytest.raises(ValueError):
+            StealthVersionPolicy(stealth_bits=64)
+        with pytest.raises(ValueError):
+            StealthVersionPolicy(reset_probability=1.5)
+
+    def test_expected_updates_between_resets(self):
+        policy = StealthVersionPolicy(reset_probability=2.0 ** -20)
+        assert policy.expected_updates_between_resets() == pytest.approx(2.0 ** 20)
+        no_reset = StealthVersionPolicy(reset_probability=0.0)
+        assert math.isinf(no_reset.expected_updates_between_resets())
+
+    def test_prob_no_reset(self):
+        policy = StealthVersionPolicy(reset_probability=0.5)
+        assert policy.prob_no_reset(0) == 1.0
+        assert policy.prob_no_reset(2) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            policy.prob_no_reset(-1)
+
+    def test_collision_probability_matches_paper_order_of_magnitude(self):
+        policy = StealthVersionPolicy()
+        p = policy.prob_full_version_collision(total_updates_log2=56)
+        # The paper reports ~1.7e-19.
+        assert 1e-20 < p < 1e-18
+
+    def test_collision_probability_monotone_in_reset_probability(self):
+        weak = StealthVersionPolicy(reset_probability=2.0 ** -24)
+        strong = StealthVersionPolicy(reset_probability=2.0 ** -16)
+        assert strong.prob_full_version_collision() <= weak.prob_full_version_collision()
+
+    @given(start=st.integers(0, STEALTH_SPACE - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_increment_result_always_in_range(self, start):
+        policy = StealthVersionPolicy(rng=DRangeRng(seed=start), reset_probability=0.01)
+        outcome = policy.increment(start)
+        assert 0 <= outcome.stealth < STEALTH_SPACE
+
+    @given(updates=st.integers(1, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_no_reset_chain_is_monotone_modulo_space(self, updates):
+        policy = StealthVersionPolicy(rng=DRangeRng(seed=9), reset_probability=0.0)
+        value = 0
+        for i in range(updates):
+            value = policy.increment(value).stealth
+        assert value == updates % STEALTH_SPACE

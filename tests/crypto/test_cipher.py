@@ -1,0 +1,113 @@
+"""Tests for the functional block ciphers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.cipher import CipherText, CtrCipher, XtsCipher
+
+
+@pytest.fixture(params=[CtrCipher, XtsCipher])
+def cipher(request):
+    return request.param(b"unit-test-key")
+
+
+class TestRoundTrip:
+    def test_encrypt_decrypt_roundtrip(self, cipher):
+        plaintext = b"confidential-data" + bytes(47)
+        ct = cipher.encrypt(plaintext, address=0x1000, version=7)
+        assert cipher.decrypt(ct, address=0x1000, version=7) == plaintext
+
+    def test_decrypt_accepts_raw_bytes(self, cipher):
+        plaintext = bytes(range(64))
+        ct = cipher.encrypt(plaintext, address=64, version=1)
+        assert cipher.decrypt(ct.data, address=64, version=1) == plaintext
+
+    def test_wrong_version_yields_garbage(self, cipher):
+        plaintext = b"secret" + bytes(58)
+        ct = cipher.encrypt(plaintext, address=0x2000, version=3)
+        assert cipher.decrypt(ct, address=0x2000, version=4) != plaintext
+
+    def test_wrong_address_yields_garbage(self, cipher):
+        plaintext = b"secret" + bytes(58)
+        ct = cipher.encrypt(plaintext, address=0x2000, version=3)
+        assert cipher.decrypt(ct, address=0x2040, version=3) != plaintext
+
+    def test_wrong_key_yields_garbage(self):
+        plaintext = b"secret" + bytes(58)
+        ct = XtsCipher(b"key-a").encrypt(plaintext, address=0, version=0)
+        assert XtsCipher(b"key-b").decrypt(ct, address=0, version=0) != plaintext
+
+
+class TestNonceSensitivity:
+    def test_different_versions_produce_different_ciphertexts(self, cipher):
+        plaintext = b"same-plaintext" + bytes(50)
+        a = cipher.encrypt(plaintext, address=0x3000, version=1)
+        b = cipher.encrypt(plaintext, address=0x3000, version=2)
+        assert a.data != b.data
+
+    def test_same_inputs_are_deterministic(self, cipher):
+        plaintext = b"same-plaintext" + bytes(50)
+        a = cipher.encrypt(plaintext, address=0x3000, version=1)
+        b = cipher.encrypt(plaintext, address=0x3000, version=1)
+        assert a.data == b.data
+
+    def test_different_addresses_produce_different_ciphertexts(self, cipher):
+        plaintext = bytes(64)
+        a = cipher.encrypt(plaintext, address=0, version=0)
+        b = cipher.encrypt(plaintext, address=64, version=0)
+        assert a.data != b.data
+
+
+class TestTweakConstruction:
+    def test_ctr_and_xts_tweaks_differ_in_layout(self):
+        ctr = CtrCipher(b"k")
+        xts = XtsCipher(b"k")
+        assert ctr.tweak(0x40, 5) == (5 << 64) | 0x40
+        assert xts.tweak(0x40, 5) == (5 << 64) | 0x40
+
+    def test_xts_tweak_masks_version_to_64_bits(self):
+        xts = XtsCipher(b"k")
+        assert xts.tweak(0, 1 << 70) == xts.tweak(0, (1 << 70) & ((1 << 64) - 1))
+
+
+class TestValidation:
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            XtsCipher(b"")
+
+    def test_oversized_plaintext_rejected(self, cipher):
+        with pytest.raises(ValueError):
+            cipher.encrypt(bytes(65), address=0, version=0)
+
+    def test_ciphertext_len(self, cipher):
+        ct = cipher.encrypt(bytes(64), address=0, version=0)
+        assert len(ct) == 64
+        assert isinstance(ct, CipherText)
+
+
+class TestProperties:
+    @given(
+        plaintext=st.binary(min_size=1, max_size=64),
+        address=st.integers(0, 2**48),
+        version=st.integers(0, 2**64 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, plaintext, address, version):
+        cipher = XtsCipher(b"prop-key")
+        ct = cipher.encrypt(plaintext, address, version)
+        assert cipher.decrypt(ct, address, version) == plaintext
+
+    @given(
+        plaintext=st.binary(min_size=16, max_size=64),
+        v1=st.integers(0, 2**32),
+        v2=st.integers(0, 2**32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_versions_never_collide(self, plaintext, v1, v2):
+        cipher = XtsCipher(b"prop-key")
+        a = cipher.encrypt(plaintext, 0x100, v1)
+        b = cipher.encrypt(plaintext, 0x100, v2)
+        if v1 != v2:
+            assert a.data != b.data
+        else:
+            assert a.data == b.data

@@ -1,0 +1,93 @@
+"""Tests for the MAC engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MAC_BITS
+from repro.crypto.mac import MacEngine, MacTag
+
+
+@pytest.fixture
+def engine():
+    return MacEngine(b"mac-test-key")
+
+
+class TestMacTag:
+    def test_value_range_enforced(self):
+        with pytest.raises(ValueError):
+            MacTag(value=1 << MAC_BITS)
+        with pytest.raises(ValueError):
+            MacTag(value=-1)
+
+    def test_to_bytes_length(self):
+        tag = MacTag(value=123)
+        assert len(tag.to_bytes()) == (MAC_BITS + 7) // 8
+
+
+class TestMacEngine:
+    def test_compute_is_deterministic(self, engine):
+        a = engine.compute(1, 0x1000, b"cipher")
+        b = engine.compute(1, 0x1000, b"cipher")
+        assert a == b
+
+    def test_verify_accepts_matching_tag(self, engine):
+        tag = engine.compute(5, 0x2000, b"payload")
+        assert engine.verify(tag, 5, 0x2000, b"payload")
+
+    def test_verify_rejects_wrong_version(self, engine):
+        tag = engine.compute(5, 0x2000, b"payload")
+        assert not engine.verify(tag, 6, 0x2000, b"payload")
+
+    def test_verify_rejects_wrong_address(self, engine):
+        tag = engine.compute(5, 0x2000, b"payload")
+        assert not engine.verify(tag, 5, 0x2040, b"payload")
+
+    def test_verify_rejects_modified_ciphertext(self, engine):
+        tag = engine.compute(5, 0x2000, b"payload")
+        assert not engine.verify(tag, 5, 0x2000, b"Payload")
+
+    def test_different_keys_produce_different_tags(self):
+        a = MacEngine(b"key-a").compute(1, 2, b"x")
+        b = MacEngine(b"key-b").compute(1, 2, b"x")
+        assert a != b
+
+    def test_tag_width_is_56_bits(self, engine):
+        assert engine.bits == MAC_BITS
+        tag = engine.compute(0, 0, b"")
+        assert tag.value < (1 << MAC_BITS)
+
+    def test_custom_width(self):
+        engine = MacEngine(b"k", bits=128)
+        assert engine.compute(0, 0, b"x").bits == 128
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MacEngine(b"")
+        with pytest.raises(ValueError):
+            MacEngine(b"k", bits=0)
+        with pytest.raises(ValueError):
+            MacEngine(b"k", bits=512)
+
+
+class TestMacProperties:
+    @given(
+        version=st.integers(0, 2**64 - 1),
+        address=st.integers(0, 2**48),
+        payload=st.binary(max_size=64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_self_verification(self, version, address, payload):
+        engine = MacEngine(b"prop-key")
+        tag = engine.compute(version, address, payload)
+        assert engine.verify(tag, version, address, payload)
+
+    @given(
+        version=st.integers(0, 2**32),
+        delta=st.integers(1, 2**32),
+        payload=st.binary(min_size=1, max_size=64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_version_binding(self, version, delta, payload):
+        engine = MacEngine(b"prop-key")
+        tag = engine.compute(version, 0x1000, payload)
+        assert not engine.verify(tag, version + delta, 0x1000, payload)

@@ -1,0 +1,78 @@
+"""Tests for the D-RaNGe random number generator model."""
+
+import pytest
+
+from repro.crypto.rng import DRangeRng
+
+
+class TestRandomBits:
+    def test_value_in_range(self):
+        rng = DRangeRng(seed=1)
+        for bits in (1, 8, 27, 64):
+            value = rng.random_bits(bits)
+            assert 0 <= value < (1 << bits)
+
+    def test_deterministic_with_seed(self):
+        a = [DRangeRng(seed=5).random_bits(27) for _ in range(1)]
+        b = [DRangeRng(seed=5).random_bits(27) for _ in range(1)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert DRangeRng(seed=1).random_bits(64) != DRangeRng(seed=2).random_bits(64)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            DRangeRng(seed=1).random_bits(0)
+
+
+class TestRandomBelow:
+    def test_range_respected(self):
+        rng = DRangeRng(seed=3)
+        for _ in range(200):
+            assert 0 <= rng.random_below(100) < 100
+
+    def test_upper_one_always_zero(self):
+        rng = DRangeRng(seed=3)
+        assert rng.random_below(1) == 0
+
+    def test_invalid_upper_rejected(self):
+        with pytest.raises(ValueError):
+            DRangeRng(seed=1).random_below(0)
+
+    def test_roughly_uniform(self):
+        rng = DRangeRng(seed=4)
+        counts = [0] * 4
+        n = 8000
+        for _ in range(n):
+            counts[rng.random_below(4)] += 1
+        for c in counts:
+            assert c == pytest.approx(n / 4, rel=0.15)
+
+
+class TestBernoulli:
+    def test_extremes(self):
+        rng = DRangeRng(seed=5)
+        assert not rng.bernoulli(0.0)
+        assert rng.bernoulli(1.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            DRangeRng(seed=5).bernoulli(1.5)
+
+    def test_rate_matches_probability(self):
+        rng = DRangeRng(seed=6)
+        n = 20_000
+        hits = sum(rng.bernoulli(0.1) for _ in range(n))
+        assert hits / n == pytest.approx(0.1, rel=0.15)
+
+
+class TestAccounting:
+    def test_dram_access_accounting(self):
+        rng = DRangeRng(seed=7, bits_per_access=4)
+        rng.random_bits(8)
+        assert rng.stats.dram_accesses == 2
+        assert rng.stats.bits_produced == 8
+
+    def test_invalid_bits_per_access(self):
+        with pytest.raises(ValueError):
+            DRangeRng(bits_per_access=0)

@@ -1,0 +1,62 @@
+"""Tests for the toleo-repro command-line interface."""
+
+import os
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table4", "fig6", "fig10", "sec62"):
+            assert name in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["not-an-experiment"])
+
+    def test_every_registered_experiment_has_a_renderer(self):
+        assert set(cli.EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4",
+            "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "sec62",
+        }
+
+
+class TestBenchmarkResolution:
+    def test_explicit_benchmarks_win(self):
+        args = cli.build_parser().parse_args(["fig6", "--benchmarks", "bsw", "pr"])
+        assert cli._resolve_benchmarks(args) == ("bsw", "pr")
+
+    def test_full_flag_selects_all_twelve(self):
+        args = cli.build_parser().parse_args(["fig6", "--full"])
+        assert len(cli._resolve_benchmarks(args)) == 12
+
+    def test_default_is_quick_subset(self):
+        args = cli.build_parser().parse_args(["fig6"])
+        assert 0 < len(cli._resolve_benchmarks(args)) < 12
+
+
+class TestRendering:
+    def test_static_experiment_prints_table(self, capsys):
+        assert cli.main(["table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_simulated_experiment_with_tiny_run(self, capsys):
+        assert cli.main(["fig7", "--benchmarks", "bsw", "--accesses", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "bsw" in out
+
+    def test_output_directory(self, tmp_path, capsys):
+        assert (
+            cli.main(["table3", "--out", str(tmp_path)]) == 0
+        )
+        path = tmp_path / "table3.txt"
+        assert path.exists()
+        assert "Table 3" in path.read_text()
+
+    def test_sec62_static_render(self, capsys):
+        assert cli.main(["sec62"]) == 0
+        assert "Section 6.2" in capsys.readouterr().out

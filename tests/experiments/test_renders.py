@@ -1,0 +1,47 @@
+"""Smoke tests for every experiment's render() path on tiny inputs.
+
+The compute() functions are covered in detail elsewhere; these tests make
+sure the user-facing text rendering (the same code the CLI and the
+``scripts/generate_results.py`` driver call) works end to end for each
+figure, with a single benchmark and a very short trace so the whole module
+stays fast.
+"""
+
+import pytest
+
+from repro.experiments import fig6, fig7, fig8, fig9, fig10, fig11, fig12
+
+PERF_KWARGS = dict(benchmarks=("hyrise",), scale=0.002, num_accesses=3000)
+SPACE_KWARGS = dict(benchmarks=("hyrise",), scale=0.001, num_accesses=8000)
+
+
+@pytest.mark.parametrize(
+    "module,title,kwargs",
+    [
+        (fig6, "Figure 6", PERF_KWARGS),
+        (fig7, "Figure 7", PERF_KWARGS),
+        (fig8, "Figure 8", PERF_KWARGS),
+        (fig9, "Figure 9", PERF_KWARGS),
+        (fig10, "Figure 10", SPACE_KWARGS),
+        (fig11, "Figure 11", SPACE_KWARGS),
+        (fig12, "Figure 12", SPACE_KWARGS),
+    ],
+)
+def test_render_produces_titled_table(module, title, kwargs):
+    text = module.render(**kwargs)
+    assert title in text
+    assert "hyrise" in text
+    # Rendered tables are multi-line and end with a newline.
+    assert text.count("\n") > 3
+    assert text.endswith("\n")
+
+
+def test_fig6_render_includes_average_row():
+    text = fig6.render(**PERF_KWARGS)
+    assert "average" in text
+
+
+def test_fig11_render_reports_protectable_capacity():
+    text = fig11.render(**SPACE_KWARGS)
+    assert "GB per TB protected" in text
+    assert "168 GB Toleo" in text

@@ -1,0 +1,92 @@
+"""Tests for physical address / page / block arithmetic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import BLOCKS_PER_PAGE, CACHE_BLOCK_BYTES, PAGE_BYTES
+from repro.memory.address import (
+    PhysicalAddress,
+    block_address,
+    block_index_in_page,
+    iter_page_blocks,
+    page_number,
+)
+
+
+class TestHelpers:
+    def test_block_address_aligns_down(self):
+        assert block_address(0) == 0
+        assert block_address(63) == 0
+        assert block_address(64) == 64
+        assert block_address(130) == 128
+
+    def test_page_number(self):
+        assert page_number(0) == 0
+        assert page_number(4095) == 0
+        assert page_number(4096) == 1
+
+    def test_block_index_in_page(self):
+        assert block_index_in_page(0) == 0
+        assert block_index_in_page(64) == 1
+        assert block_index_in_page(4096 + 128) == 2
+
+    def test_iter_page_blocks_yields_64_aligned_addresses(self):
+        blocks = list(iter_page_blocks(3))
+        assert len(blocks) == BLOCKS_PER_PAGE
+        assert blocks[0] == 3 * PAGE_BYTES
+        assert all(b % CACHE_BLOCK_BYTES == 0 for b in blocks)
+        assert blocks[-1] == 3 * PAGE_BYTES + PAGE_BYTES - CACHE_BLOCK_BYTES
+
+
+class TestPhysicalAddress:
+    def test_decomposition(self):
+        addr = PhysicalAddress(2 * PAGE_BYTES + 5 * CACHE_BLOCK_BYTES + 3)
+        assert addr.page == 2
+        assert addr.block_in_page == 5
+        assert addr.page_offset == 5 * CACHE_BLOCK_BYTES + 3
+        assert addr.block_aligned == 2 * PAGE_BYTES + 5 * CACHE_BLOCK_BYTES
+        assert addr.page_aligned == 2 * PAGE_BYTES
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalAddress(-1)
+
+    def test_incompatible_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalAddress(0, page_bytes=100, block_bytes=64)
+
+    def test_sibling_block(self):
+        addr = PhysicalAddress(PAGE_BYTES)
+        sibling = addr.sibling_block(10)
+        assert sibling.page == addr.page
+        assert sibling.block_in_page == 10
+
+    def test_sibling_block_out_of_range(self):
+        with pytest.raises(IndexError):
+            PhysicalAddress(0).sibling_block(BLOCKS_PER_PAGE)
+
+    def test_from_page_block(self):
+        addr = PhysicalAddress.from_page_block(7, 9)
+        assert addr.page == 7
+        assert addr.block_in_page == 9
+        assert addr.raw % CACHE_BLOCK_BYTES == 0
+
+    def test_from_page_block_out_of_range(self):
+        with pytest.raises(IndexError):
+            PhysicalAddress.from_page_block(0, BLOCKS_PER_PAGE)
+
+
+class TestAddressProperties:
+    @given(raw=st.integers(0, 2**48))
+    @settings(max_examples=100, deadline=None)
+    def test_reconstruction(self, raw):
+        addr = PhysicalAddress(raw)
+        assert addr.page * PAGE_BYTES + addr.page_offset == raw
+        assert addr.block * CACHE_BLOCK_BYTES <= raw < (addr.block + 1) * CACHE_BLOCK_BYTES
+
+    @given(page=st.integers(0, 2**36), block=st.integers(0, BLOCKS_PER_PAGE - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_from_page_block_roundtrip(self, page, block):
+        addr = PhysicalAddress.from_page_block(page, block)
+        assert addr.page == page
+        assert addr.block_in_page == block

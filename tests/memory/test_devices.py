@@ -1,0 +1,93 @@
+"""Tests for the DRAM / CXL memory device models."""
+
+import pytest
+
+from repro.core.config import CACHE_BLOCK_BYTES, PAGE_BYTES, SystemConfig
+from repro.memory.devices import CxlMemoryPool, DramDevice, MemoryRegion, RackMemory
+
+
+class TestDramDevice:
+    def test_access_returns_latency_and_accounts_bytes(self):
+        dram = DramDevice()
+        latency = dram.access(64, is_write=False)
+        assert latency == dram.latency_ns
+        assert dram.stats.reads == 1
+        assert dram.stats.bytes_read == 64
+
+    def test_write_accounting(self):
+        dram = DramDevice()
+        dram.access(128, is_write=True)
+        assert dram.stats.writes == 1
+        assert dram.stats.bytes_written == 128
+        assert dram.stats.total_bytes == 128
+
+    def test_transfer_time_scales_with_bytes(self):
+        dram = DramDevice(bandwidth_gbps=10.0)
+        assert dram.transfer_time_ns(1000) == pytest.approx(100.0)
+
+
+class TestCxlMemoryPool:
+    def test_latency_includes_link_and_dram(self):
+        pool = CxlMemoryPool(link_latency_ns=95.0, dram_latency_ns=60.0)
+        assert pool.latency_ns == pytest.approx(155.0)
+        assert pool.access(64) == pytest.approx(155.0)
+
+    def test_pool_is_slower_than_local_dram(self):
+        assert CxlMemoryPool().latency_ns > DramDevice().latency_ns
+
+
+class TestRackMemory:
+    def test_page_region_assignment_is_deterministic(self):
+        rack = RackMemory()
+        addr = 5 * PAGE_BYTES
+        assert rack.region_of(addr) == rack.region_of(addr + 64)
+
+    def test_cxl_fraction_of_pages_reasonable(self):
+        rack = RackMemory()
+        cfg = SystemConfig()
+        pages = 10_000
+        cxl_pages = sum(
+            rack.region_of(p * PAGE_BYTES) is MemoryRegion.CXL_POOL for p in range(pages)
+        )
+        assert cxl_pages / pages == pytest.approx(cfg.cxl_fraction, abs=0.05)
+
+    def test_access_routes_to_correct_device(self):
+        rack = RackMemory()
+        for page in range(32):
+            addr = page * PAGE_BYTES
+            region = rack.region_of(addr)
+            rack.access(addr, CACHE_BLOCK_BYTES)
+        stats = rack.stats_by_region()
+        assert stats[MemoryRegion.LOCAL_DRAM].accesses > 0
+        assert stats[MemoryRegion.CXL_POOL].accesses > 0
+        assert rack.total_accesses() == 32
+
+    def test_cxl_accesses_take_longer(self):
+        rack = RackMemory()
+        cxl_addr = next(
+            p * PAGE_BYTES
+            for p in range(100)
+            if rack.region_of(p * PAGE_BYTES) is MemoryRegion.CXL_POOL
+        )
+        local_addr = next(
+            p * PAGE_BYTES
+            for p in range(100)
+            if rack.region_of(p * PAGE_BYTES) is MemoryRegion.LOCAL_DRAM
+        )
+        assert rack.access(cxl_addr) > rack.access(local_addr)
+
+    def test_average_latency_between_device_extremes(self):
+        rack = RackMemory()
+        for page in range(64):
+            rack.access(page * PAGE_BYTES)
+        avg = rack.average_latency_ns()
+        assert rack.local.latency_ns <= avg <= rack.pool.latency_ns
+
+    def test_total_bytes_moved(self):
+        rack = RackMemory()
+        rack.access(0, 64)
+        rack.access(PAGE_BYTES, 64, is_write=True)
+        assert rack.total_bytes_moved() == 128
+
+    def test_empty_rack_average_latency_zero(self):
+        assert RackMemory().average_latency_ns() == 0.0

@@ -1,0 +1,114 @@
+"""Tests for the MAC/UV metadata layout in conventional memory."""
+
+import pytest
+
+from repro.core.config import CACHE_BLOCK_BYTES, MACS_PER_BLOCK, TIB
+from repro.crypto.mac import MacEngine
+from repro.memory.layout import MetadataLayout, partition_physical_memory
+
+
+@pytest.fixture
+def layout():
+    return MetadataLayout()
+
+
+@pytest.fixture
+def mac_engine():
+    return MacEngine(b"layout-test-key")
+
+
+class TestPartition:
+    def test_metadata_is_one_ninth(self):
+        part = partition_physical_memory(28 * TIB)
+        assert part.metadata_bytes == 28 * TIB // 9
+        assert part.data_bytes + part.metadata_bytes == part.total_bytes
+        # The paper rounds this to 24.8 TB data + 3.2 TB metadata.
+        assert part.data_bytes / TIB == pytest.approx(24.9, abs=0.2)
+        assert part.metadata_fraction == pytest.approx(1 / 9, rel=0.01)
+
+
+class TestDataStore:
+    def test_write_read_roundtrip(self, layout):
+        layout.write_data(0x1000, b"ciphertext-bytes")
+        assert layout.read_data(0x1000) == b"ciphertext-bytes"
+
+    def test_unwritten_address_returns_none(self, layout):
+        assert layout.read_data(0x5000) is None
+
+    def test_addresses_are_block_aligned_internally(self, layout):
+        layout.write_data(0x1000, b"a")
+        assert layout.read_data(0x1000 + 5) == b"a"  # same block
+
+    def test_data_blocks_stored_counter(self, layout):
+        layout.write_data(0, b"x")
+        layout.write_data(64, b"y")
+        layout.write_data(64, b"z")
+        assert layout.data_blocks_stored == 2
+
+
+class TestMacStore:
+    def test_mac_roundtrip(self, layout, mac_engine):
+        tag = mac_engine.compute(1, 0x2000, b"ct")
+        layout.write_mac(0x2000, tag)
+        assert layout.read_mac(0x2000) == tag
+
+    def test_macs_for_adjacent_blocks_share_a_mac_block(self, layout, mac_engine):
+        for i in range(MACS_PER_BLOCK):
+            layout.write_mac(i * CACHE_BLOCK_BYTES, mac_engine.compute(i, i, b""))
+        assert layout.mac_blocks_stored == 1
+        layout.write_mac(MACS_PER_BLOCK * CACHE_BLOCK_BYTES, mac_engine.compute(9, 9, b""))
+        assert layout.mac_blocks_stored == 2
+
+    def test_missing_mac_returns_none(self, layout):
+        assert layout.read_mac(0x7000) is None
+
+    def test_metadata_bytes_accounting(self, layout, mac_engine):
+        layout.write_mac(0, mac_engine.compute(0, 0, b""))
+        assert layout.metadata_bytes() == CACHE_BLOCK_BYTES
+
+
+class TestUpperVersions:
+    def test_default_uv_is_zero(self, layout):
+        assert layout.upper_version(12) == 0
+
+    def test_set_and_increment(self, layout):
+        layout.set_upper_version(12, 5)
+        assert layout.upper_version(12) == 5
+        assert layout.increment_upper_version(12) == 6
+        assert layout.upper_version(12) == 6
+
+    def test_negative_uv_rejected(self, layout):
+        with pytest.raises(ValueError):
+            layout.set_upper_version(0, -1)
+
+    def test_uv_mirrored_into_mac_blocks(self, layout):
+        layout.set_upper_version(0, 3)
+        # The page's MAC blocks now carry the shared UV (Figure 4).
+        block = layout._mac_block_for(0)
+        assert block.upper_version == 3
+
+
+class TestAdversarialOperations:
+    def test_snapshot_and_replay(self, layout, mac_engine):
+        tag = mac_engine.compute(1, 0, b"old")
+        layout.write_data(0, b"old")
+        layout.write_mac(0, tag)
+        layout.set_upper_version(0, 1)
+        snapshot = layout.snapshot(0)
+
+        layout.write_data(0, b"new")
+        layout.write_mac(0, mac_engine.compute(2, 0, b"new"))
+        layout.set_upper_version(0, 2)
+
+        layout.replay(0, snapshot)
+        assert layout.read_data(0) == b"old"
+        assert layout.read_mac(0) == tag
+        assert layout.upper_version(0) == 1
+
+    def test_tamper_data_overwrites_ciphertext_only(self, layout, mac_engine):
+        tag = mac_engine.compute(1, 0, b"good")
+        layout.write_data(0, b"good")
+        layout.write_mac(0, tag)
+        layout.tamper_data(0, b"evil")
+        assert layout.read_data(0) == b"evil"
+        assert layout.read_mac(0) == tag

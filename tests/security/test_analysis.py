@@ -1,0 +1,101 @@
+"""Tests for the analytical security bounds (Section 6.2)."""
+
+import math
+
+import pytest
+
+from repro.security.analysis import (
+    SecurityAnalysis,
+    full_version_lifetime_updates,
+    monte_carlo_exhaustion_rate,
+    replay_success_probability,
+    stealth_exhaustion_probability,
+)
+
+
+class TestReplaySuccessProbability:
+    def test_paper_value(self):
+        assert replay_success_probability(27) == pytest.approx(2.0 ** -27)
+
+    def test_monotone_in_width(self):
+        assert replay_success_probability(20) > replay_success_probability(27)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            replay_success_probability(0)
+
+
+class TestExhaustionProbability:
+    def test_paper_order_of_magnitude(self):
+        p = stealth_exhaustion_probability()
+        # The paper reports ~1.7e-19.
+        assert 1e-20 < p < 1e-18
+
+    def test_per_interval_probability(self):
+        analysis = SecurityAnalysis()
+        # (1 - 2^-20)^(2^26) = e^-64 ~= 1.6e-28.  (The paper's prose quotes
+        # 1.6e-26, which appears to be a typo: its own headline bound of
+        # 1.7e-19 equals 2^30 * 1.6e-28.)
+        assert analysis.per_interval_no_reset == pytest.approx(1.6e-28, rel=0.2, abs=0.0)
+
+    def test_collision_bound_is_union_of_intervals(self):
+        analysis = SecurityAnalysis()
+        expected = (2 ** 30) * analysis.per_interval_no_reset
+        assert analysis.exhaustion_probability == pytest.approx(expected, rel=1e-6, abs=0.0)
+
+    def test_higher_reset_probability_reduces_risk(self):
+        weak = stealth_exhaustion_probability(reset_probability=2.0 ** -22)
+        strong = stealth_exhaustion_probability(reset_probability=2.0 ** -18)
+        assert strong < weak
+
+    def test_wider_stealth_reduces_risk(self):
+        narrow = stealth_exhaustion_probability(stealth_bits=24)
+        wide = stealth_exhaustion_probability(stealth_bits=30)
+        assert wide < narrow
+
+    def test_capped_at_one(self):
+        p = stealth_exhaustion_probability(
+            stealth_bits=8, reset_probability=2.0 ** -30, lifetime_updates_log2=40
+        )
+        assert p == 1.0
+
+    def test_invalid_reset_probability(self):
+        with pytest.raises(ValueError):
+            stealth_exhaustion_probability(reset_probability=0.0)
+
+
+class TestLifetime:
+    def test_sgx_lifetime(self):
+        assert full_version_lifetime_updates(56) == 2 ** 56
+        assert full_version_lifetime_updates(64) == 2 ** 64
+
+
+class TestMonteCarloCrossCheck:
+    def test_small_parameter_agreement(self):
+        """At reduced parameters the empirical exhaustion rate should agree
+        with the analytical per-interval no-reset probability to first order."""
+        stealth_bits = 8
+        reset_probability = 2.0 ** -6
+        empirical = monte_carlo_exhaustion_rate(
+            stealth_bits=stealth_bits,
+            reset_probability=reset_probability,
+            trials=800,
+            seed=1,
+        )
+        analytical = (1.0 - reset_probability) ** (2 ** stealth_bits)
+        assert empirical == pytest.approx(analytical, abs=0.05)
+
+    def test_high_reset_probability_never_exhausts(self):
+        rate = monte_carlo_exhaustion_rate(
+            stealth_bits=8, reset_probability=0.5, trials=100, seed=2
+        )
+        assert rate == 0.0
+
+
+class TestSecurityAnalysisSummary:
+    def test_summary_fields(self):
+        summary = SecurityAnalysis().summary()
+        assert summary["stealth_bits"] == 27
+        assert summary["reset_probability"] == pytest.approx(2.0 ** -20)
+        assert 0.0 < summary["full_version_collision_probability"] < 1e-18
+        assert math.isfinite(summary["replay_success_probability"])

@@ -1,0 +1,60 @@
+"""Tests for the protection-mode configuration objects."""
+
+from repro.baselines.invisimem import InvisiMemModel
+from repro.sim.configs import (
+    EVALUATED_MODES,
+    LATENCY_MODES,
+    MODE_PARAMETERS,
+    ProtectionMode,
+)
+
+
+class TestProtectionMode:
+    def test_capability_flags(self):
+        assert not ProtectionMode.NOPROTECT.encrypts
+        assert ProtectionMode.C.encrypts and not ProtectionMode.C.has_integrity
+        assert ProtectionMode.CI.has_integrity and not ProtectionMode.CI.has_freshness
+        assert ProtectionMode.TOLEO.has_freshness and ProtectionMode.TOLEO.uses_toleo_device
+        assert ProtectionMode.INVISIMEM.has_freshness
+        assert not ProtectionMode.INVISIMEM.uses_toleo_device
+        assert ProtectionMode.INVISIMEM.is_invisimem
+
+    def test_labels_match_paper_names(self):
+        assert ProtectionMode.NOPROTECT.value == "NoProtect"
+        assert ProtectionMode.CI.value == "CI"
+        assert ProtectionMode.TOLEO.value == "Toleo"
+        assert ProtectionMode.INVISIMEM.value == "InvisiMem"
+
+
+class TestModeParameters:
+    def test_every_mode_has_parameters(self):
+        assert set(MODE_PARAMETERS) == set(ProtectionMode)
+
+    def test_parameter_consistency(self):
+        for mode, params in MODE_PARAMETERS.items():
+            assert params.mode is mode
+            assert params.mac_traffic == mode.has_integrity
+            assert params.aes_on_read == mode.encrypts
+            if mode is ProtectionMode.INVISIMEM:
+                assert isinstance(params.invisimem, InvisiMemModel)
+            else:
+                assert params.invisimem is None
+
+    def test_only_toleo_has_stealth_traffic(self):
+        assert MODE_PARAMETERS[ProtectionMode.TOLEO].stealth_traffic
+        for mode in (ProtectionMode.NOPROTECT, ProtectionMode.CI, ProtectionMode.INVISIMEM):
+            assert not MODE_PARAMETERS[mode].stealth_traffic
+
+
+class TestModeGroups:
+    def test_evaluated_modes_match_figure6(self):
+        assert EVALUATED_MODES == (
+            ProtectionMode.NOPROTECT,
+            ProtectionMode.CI,
+            ProtectionMode.TOLEO,
+            ProtectionMode.INVISIMEM,
+        )
+
+    def test_latency_modes_include_c(self):
+        assert ProtectionMode.C in LATENCY_MODES
+        assert len(LATENCY_MODES) == 5

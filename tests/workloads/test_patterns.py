@@ -1,0 +1,199 @@
+"""Tests for the reusable access-pattern generators."""
+
+import random
+
+import pytest
+
+from repro.core.config import CACHE_BLOCK_BYTES, PAGE_BYTES
+from repro.workloads.base import Workload, WorkloadCharacteristics, WorkloadPhase
+from repro.workloads import patterns
+
+
+class PatternHarness(Workload):
+    """A workload exposing two regions so individual patterns can be driven."""
+
+    name = "pattern-harness"
+    characteristics = WorkloadCharacteristics(
+        rss_bytes=4 * 1024 * 1024, llc_mpki=1.0, category="test"
+    )
+
+    def region_plan(self):
+        return [("alpha", 0.5), ("beta", 0.5)]
+
+    def build_phases(self):
+        return [WorkloadPhase("noop", 1.0, patterns.streaming_reads("alpha"))]
+
+
+@pytest.fixture
+def harness():
+    return PatternHarness(scale=1.0, seed=1)
+
+
+def run_pattern(pattern, harness, count=500):
+    rng = random.Random(0)
+    return list(pattern(rng, harness, count))
+
+
+class TestSequentialWriteSweep:
+    def test_all_writes_and_sequential(self, harness):
+        trace = run_pattern(patterns.sequential_write_sweep("alpha"), harness, 100)
+        assert all(a.is_write for a in trace)
+        deltas = {trace[i + 1].address - trace[i].address for i in range(98)}
+        region = harness.region("alpha")
+        assert deltas <= {CACHE_BLOCK_BYTES, -(region.size - CACHE_BLOCK_BYTES)}
+
+    def test_read_fraction_mixes_reads(self, harness):
+        trace = run_pattern(
+            patterns.sequential_write_sweep("alpha", read_fraction=0.5), harness, 400
+        )
+        reads = sum(1 for a in trace if not a.is_write)
+        assert 100 < reads < 300
+
+
+class TestStencilSweep:
+    def test_read_write_ratio(self, harness):
+        trace = run_pattern(patterns.stencil_sweep("alpha", reads_per_write=2), harness, 300)
+        writes = sum(1 for a in trace if a.is_write)
+        assert writes == pytest.approx(100, abs=2)
+
+    def test_reads_from_separate_region(self, harness):
+        trace = run_pattern(
+            patterns.stencil_sweep("alpha", read_region="beta"), harness, 300
+        )
+        beta = harness.region("beta")
+        alpha = harness.region("alpha")
+        assert all(beta.contains(a.address) for a in trace if not a.is_write)
+        assert all(alpha.contains(a.address) for a in trace if a.is_write)
+
+
+class TestRandomReads:
+    def test_read_only(self, harness):
+        trace = run_pattern(patterns.random_reads("alpha"), harness, 200)
+        assert not any(a.is_write for a in trace)
+
+    def test_hot_bias_concentrates_accesses(self, harness):
+        trace = run_pattern(
+            patterns.random_reads("alpha", hot_fraction=0.05, hot_weight=0.9), harness, 2000
+        )
+        region = harness.region("alpha")
+        hot_limit = region.base + int(region.size * 0.05) + PAGE_BYTES
+        hot = sum(1 for a in trace if a.address < hot_limit)
+        assert hot / len(trace) > 0.7
+
+
+class TestRandomBlockWrites:
+    def test_write_fraction_respected(self, harness):
+        trace = run_pattern(
+            patterns.random_block_writes("alpha", write_fraction=0.3), harness, 2000
+        )
+        writes = sum(1 for a in trace if a.is_write)
+        assert writes / len(trace) == pytest.approx(0.3, abs=0.05)
+
+
+class TestZipfWrites:
+    def test_skewed_distribution(self, harness):
+        trace = run_pattern(
+            patterns.zipf_writes("alpha", write_fraction=1.0, exponent=1.3), harness, 2000
+        )
+        counts = {}
+        for access in trace:
+            counts[access.address] = counts.get(access.address, 0) + 1
+        top = max(counts.values())
+        assert top > len(trace) * 0.02  # some block is much hotter than uniform
+
+
+class TestGaussianKvWrites:
+    def test_page_popularity_is_gaussian_centered(self, harness):
+        trace = run_pattern(
+            patterns.gaussian_kv_writes("alpha", sigma_fraction=0.05), harness, 3000
+        )
+        region = harness.region("alpha")
+        pages = [(a.address - region.base) // PAGE_BYTES for a in trace]
+        mean_page = sum(pages) / len(pages)
+        assert mean_page == pytest.approx(region.pages / 2, rel=0.2)
+
+    def test_within_page_coverage_is_uniform(self, harness):
+        # The per-page cursor means no block is written twice before the page
+        # has been fully covered: the property that keeps KV pages flat.
+        trace = run_pattern(
+            patterns.gaussian_kv_writes("alpha", sigma_fraction=0.01), harness, 3000
+        )
+        per_page_counts = {}
+        for access in trace:
+            page = access.address // PAGE_BYTES
+            block = (access.address % PAGE_BYTES) // CACHE_BLOCK_BYTES
+            per_page_counts.setdefault(page, {}).setdefault(block, 0)
+            per_page_counts[page][block] += 1
+        for blocks in per_page_counts.values():
+            assert max(blocks.values()) - min(blocks.values()) <= 1
+
+
+class TestPointerChase:
+    def test_read_only_and_in_region(self, harness):
+        trace = run_pattern(patterns.pointer_chase("alpha"), harness, 500)
+        region = harness.region("alpha")
+        assert all(not a.is_write for a in trace)
+        assert all(region.contains(a.address) for a in trace)
+
+
+class TestStreamingReads:
+    def test_monotone_addresses(self, harness):
+        trace = run_pattern(patterns.streaming_reads("alpha"), harness, 50)
+        assert all(
+            trace[i + 1].address > trace[i].address for i in range(len(trace) - 2)
+        )
+
+
+class TestPageSequentialWrites:
+    def test_page_covered_before_moving_on(self, harness):
+        trace = run_pattern(
+            patterns.page_sequential_writes("alpha", rewrites=1), harness, 128
+        )
+        first_page = trace[0].page
+        assert all(a.page == first_page for a in trace[:64])
+        assert trace[64].page != first_page
+
+
+class TestTransactionalWrites:
+    def test_reads_precede_writes_within_span(self, harness):
+        trace = run_pattern(
+            patterns.transactional_writes("alpha", txn_span_blocks=4, write_fraction=1.0),
+            harness,
+            64,
+        )
+        # The first four accesses of each transaction are reads.
+        assert not any(a.is_write for a in trace[:4])
+        assert any(a.is_write for a in trace[4:8])
+
+
+class TestMatrixMultiply:
+    def test_reads_from_weights_writes_to_output(self, harness):
+        trace = run_pattern(
+            patterns.matrix_multiply("alpha", "beta", tile_blocks=8), harness, 300
+        )
+        alpha, beta = harness.region("alpha"), harness.region("beta")
+        assert all(alpha.contains(a.address) for a in trace if not a.is_write)
+        assert all(beta.contains(a.address) for a in trace if a.is_write)
+        writes = sum(1 for a in trace if a.is_write)
+        assert writes == pytest.approx(len(trace) / 9, abs=3)
+
+
+class TestAllPatternsEmitExactCount:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            patterns.sequential_write_sweep("alpha"),
+            patterns.stencil_sweep("alpha"),
+            patterns.random_reads("alpha"),
+            patterns.random_block_writes("alpha"),
+            patterns.zipf_writes("alpha"),
+            patterns.gaussian_kv_writes("alpha"),
+            patterns.pointer_chase("alpha"),
+            patterns.streaming_reads("alpha"),
+            patterns.page_sequential_writes("alpha"),
+            patterns.transactional_writes("alpha"),
+            patterns.matrix_multiply("alpha", "beta"),
+        ],
+    )
+    def test_exact_count(self, harness, factory):
+        assert len(run_pattern(factory, harness, 137)) == 137
