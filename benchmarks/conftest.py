@@ -11,12 +11,18 @@ from __future__ import annotations
 
 import os
 import sys
+import tempfile
 
 import pytest
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+# Keep the persistent result store hermetic during benchmark runs (see
+# tests/conftest.py); setdefault so a combined tests+benchmarks session
+# shares one temp store.
+os.environ.setdefault("REPRO_CACHE_DIR", tempfile.mkdtemp(prefix="repro-test-cache-"))
 
 from repro.experiments.harness import run_benchmarks, run_space_study
 from repro.sim.configs import LATENCY_MODES

@@ -7,6 +7,7 @@ combined report.  This is the long-form run used to fill EXPERIMENTS.md;
 smaller benchmark subset.
 
 Usage:  python scripts/generate_results.py [--accesses N] [--space-accesses N]
+                                           [--jobs N] [--no-cache]
 """
 
 import argparse
@@ -19,6 +20,7 @@ from repro.experiments import (
     fig6, fig7, fig8, fig9, fig10, fig11, fig12,
     security62, table1, table2, table3, table4,
 )
+from repro.experiments import harness
 from repro.experiments.harness import DEFAULT_BENCHMARKS
 
 
@@ -29,9 +31,21 @@ def main() -> None:
     parser.add_argument("--scale", type=float, default=0.002)
     parser.add_argument("--space-scale", type=float, default=0.001)
     parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=0,
+        help="worker processes for the simulations (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result store (.repro_cache/)",
+    )
     args = parser.parse_args()
 
     os.makedirs(args.out, exist_ok=True)
+    # Every figure below projects the same two cached runs (perf suite +
+    # space study), so setting the harness defaults here parallelises and
+    # caches all of them at once.
+    harness.configure(jobs=args.jobs, use_cache=not args.no_cache)
     benches = DEFAULT_BENCHMARKS
 
     sections = {

@@ -1,16 +1,21 @@
 """Command-line interface for regenerating the paper's tables and figures.
 
-Installed as the ``toleo-repro`` console script::
+Installed as the ``repro`` console script (``toleo-repro`` is an alias)::
 
-    toleo-repro list                     # show available experiments
-    toleo-repro table1                   # render one experiment
-    toleo-repro fig6 --benchmarks bsw pr --accesses 20000
-    toleo-repro all --out results/       # render everything to a directory
+    repro list                           # show available experiments
+    repro table1                         # render one experiment
+    repro fig6 --benchmarks bsw pr --accesses 20000
+    repro all --out results/ --jobs 4    # render everything, in parallel
+    repro bench --jobs 4                 # run the quick suite, print summary
+    repro bench --no-cache               # force re-simulation
 
 Each experiment name maps to the corresponding module in
 :mod:`repro.experiments`; rendering uses the same code paths as the pytest
 benchmark harness, just with user-selectable benchmark subsets and trace
-lengths.
+lengths.  ``--jobs N`` fans the independent (benchmark, mode) simulations
+over N worker processes (0 = one per CPU); results are bit-identical to a
+serial run.  Completed runs persist in ``.repro_cache/`` and are reused
+across invocations unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
@@ -18,7 +23,8 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable, Dict, Optional, Sequence
+import time
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import (
     fig6,
@@ -28,13 +34,20 @@ from repro.experiments import (
     fig10,
     fig11,
     fig12,
+    harness,
     security62,
     table1,
     table2,
     table3,
     table4,
 )
-from repro.experiments.harness import DEFAULT_BENCHMARKS, QUICK_BENCHMARKS
+from repro.experiments.harness import (
+    DEFAULT_BENCHMARKS,
+    QUICK_BENCHMARKS,
+    run_benchmarks,
+)
+from repro.experiments.report import format_table
+from repro.workloads.registry import UnknownBenchmarkError
 
 
 def _simple(render: Callable[[], str]) -> Callable[..., str]:
@@ -83,13 +96,14 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="toleo-repro",
+        prog="repro",
         description="Regenerate the Toleo paper's tables and figures.",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="experiment to render, 'all' for every experiment, or 'list'",
+        choices=sorted(EXPERIMENTS) + ["all", "bench", "list"],
+        help="experiment to render, 'bench' for a raw benchmark-suite run, "
+        "'all' for every experiment, or 'list'",
     )
     parser.add_argument(
         "--benchmarks",
@@ -109,6 +123,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out", default=None, metavar="DIR", help="write rendered text files to DIR"
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the simulations (0 = one per CPU; "
+        "results are bit-identical to a serial run)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent result store (.repro_cache/)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1234, help="trace RNG seed (bench only)"
+    )
     return parser
 
 
@@ -120,13 +151,57 @@ def _resolve_benchmarks(args: argparse.Namespace) -> Sequence[str]:
     return QUICK_BENCHMARKS
 
 
+def run_bench(args: argparse.Namespace) -> str:
+    """Run the benchmark suite and render a per-(benchmark, mode) summary.
+
+    This is the raw substrate the figures are projections of: one row per
+    benchmark, one slowdown column per protected mode, plus wall-clock and
+    cache telemetry so speedups (``--jobs``) and store hits are visible.
+    """
+    benchmarks = _resolve_benchmarks(args)
+    started = time.perf_counter()
+    suite = run_benchmarks(
+        benchmarks,
+        scale=args.scale,
+        num_accesses=args.accesses,
+        seed=args.seed,
+        use_cache=not args.no_cache,
+        jobs=args.jobs,
+    )
+    elapsed = time.perf_counter() - started
+
+    rows: List[Dict[str, object]] = []
+    for bench, per_mode in suite.items():
+        row: Dict[str, object] = {"bench": bench}
+        for mode in per_mode:
+            row[mode.value] = f"{per_mode[mode].slowdown:.3f}x"
+        rows.append(row)
+    table = format_table(rows, title="Benchmark suite: slowdown vs NoProtect")
+    modes = next(iter(suite.values()), {})
+    footer = (
+        f"\n{len(suite)} benchmarks x {len(modes)} modes, "
+        f"{args.accesses} accesses @ scale {args.scale}, seed {args.seed}\n"
+        f"wall time {elapsed:.2f}s (jobs={args.jobs}, "
+        f"cache={'off' if args.no_cache else 'on'})\n"
+    )
+    return table + footer
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        for name in sorted(EXPERIMENTS):
+        for name in sorted(EXPERIMENTS) + ["bench"]:
             print(name)
+        return 0
+
+    if args.experiment == "bench":
+        try:
+            print(run_bench(args))
+        except UnknownBenchmarkError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
         return 0
 
     benchmarks = _resolve_benchmarks(args)
@@ -135,15 +210,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.out:
         os.makedirs(args.out, exist_ok=True)
 
-    for name in names:
-        text = EXPERIMENTS[name](benchmarks, args.scale, args.accesses)
-        if args.out:
-            path = os.path.join(args.out, f"{name}.txt")
-            with open(path, "w") as handle:
-                handle.write(text)
-            print(f"wrote {path}")
-        else:
-            print(text)
+    # The figure renderers call the harness themselves; publish the CLI's
+    # execution flags as the harness defaults for the duration of the run.
+    previous = harness.configure(jobs=args.jobs, use_cache=not args.no_cache)
+    try:
+        for name in names:
+            text = EXPERIMENTS[name](benchmarks, args.scale, args.accesses)
+            if args.out:
+                path = os.path.join(args.out, f"{name}.txt")
+                with open(path, "w") as handle:
+                    handle.write(text)
+                print(f"wrote {path}")
+            else:
+                print(text)
+    except UnknownBenchmarkError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    finally:
+        harness.configure(**previous)
     return 0
 
 

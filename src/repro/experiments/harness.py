@@ -2,23 +2,38 @@
 
 All the performance figures (6-9) and space figures (10-12) are projections
 of the same per-(benchmark, mode) simulation results, so the harness exposes
-one entry point, :func:`run_benchmarks`, with a module-level cache keyed by
-the run parameters.  The figure modules accept either a precomputed suite or
-the parameters to produce one.
+one entry point, :func:`run_benchmarks`, backed by the persistent
+:class:`repro.sim.store.ResultStore`:
+
+* results are cached under a content hash of the **complete** run
+  description -- benchmark names, modes, scale, trace length, seed, and the
+  full ``SystemConfig``/``EngineOptions`` -- so runs with different
+  configurations can never be served each other's results;
+* the store's memory layer preserves object identity within a process, and
+  its JSON layer under ``.repro_cache/`` survives across processes, so a
+  second ``repro bench`` (or a CI re-run on a warm cache) skips simulation
+  entirely;
+* ``jobs > 1`` fans the independent (benchmark, mode) simulations out over
+  worker processes via :func:`repro.sim.parallel.run_suite_parallel`, with
+  output bit-identical to the serial run.
+
+The figure modules accept either a precomputed suite or the parameters to
+produce one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.config import SystemConfig
+from repro.core.toleo import ToleoDevice
+from repro.core.trip import TripFormat
 from repro.sim.configs import EVALUATED_MODES, ProtectionMode
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.toleo import ToleoDevice
-    from repro.core.trip import TripFormat
-from repro.sim.engine import run_suite
+from repro.sim.engine import EngineOptions, run_suite
+from repro.sim.parallel import parallel_map, run_suite_parallel
 from repro.sim.results import SimulationResult
+from repro.sim.store import ResultStore, content_key, default_store
 from repro.workloads.registry import WORKLOAD_NAMES
 
 SuiteResults = Dict[str, Dict[ProtectionMode, SimulationResult]]
@@ -30,7 +45,67 @@ DEFAULT_BENCHMARKS: Tuple[str, ...] = tuple(WORKLOAD_NAMES)
 #: benchmark targets so a full run stays under a few seconds.
 QUICK_BENCHMARKS: Tuple[str, ...] = ("bsw", "pr", "llama2-gen", "memcached")
 
-_CACHE: Dict[Tuple, SuiteResults] = {}
+#: Process-wide execution defaults, adjustable by the CLI (``--jobs`` /
+#: ``--no-cache``) so every experiment render picks them up without each
+#: figure module having to thread the flags through.
+_EXECUTION_DEFAULTS: Dict[str, Any] = {"jobs": 1, "use_cache": True}
+
+
+def configure(
+    jobs: Optional[int] = None, use_cache: Optional[bool] = None
+) -> Dict[str, Any]:
+    """Set process-wide execution defaults; returns the previous values."""
+    previous = dict(_EXECUTION_DEFAULTS)
+    if jobs is not None:
+        _EXECUTION_DEFAULTS["jobs"] = jobs
+    if use_cache is not None:
+        _EXECUTION_DEFAULTS["use_cache"] = use_cache
+    return previous
+
+
+# ---------------------------------------------------------------------------
+# Suite results (Figures 6-9, Tables 2/4)
+# ---------------------------------------------------------------------------
+
+def _encode_suite(suite: SuiteResults) -> Dict[str, Dict[str, Any]]:
+    return {
+        name: {mode.value: result.to_dict() for mode, result in per_mode.items()}
+        for name, per_mode in suite.items()
+    }
+
+
+def _decode_suite(payload: Dict[str, Dict[str, Any]]) -> SuiteResults:
+    return {
+        name: {
+            ProtectionMode(mode): SimulationResult.from_dict(result)
+            for mode, result in per_mode.items()
+        }
+        for name, per_mode in payload.items()
+    }
+
+
+def suite_key(
+    names: Sequence[str],
+    modes: Sequence[ProtectionMode],
+    scale: float,
+    num_accesses: int,
+    seed: int,
+    config: Optional[SystemConfig],
+    options: Optional[EngineOptions],
+) -> str:
+    """Content hash of a suite run; includes config/options (the old dict
+    cache omitted them, so e.g. a down-scaled Redis config could be handed
+    the default config's results)."""
+    return content_key(
+        "suite",
+        benchmarks=list(names),
+        modes=[mode.value for mode in modes],
+        scale=scale,
+        num_accesses=num_accesses,
+        seed=seed,
+        config=config,
+        options=options,
+    )
 
 
 def run_benchmarks(
@@ -39,25 +114,68 @@ def run_benchmarks(
     scale: float = 0.002,
     num_accesses: int = 60_000,
     seed: int = 1234,
-    use_cache: bool = True,
+    use_cache: Optional[bool] = None,
+    config: Optional[SystemConfig] = None,
+    options: Optional[EngineOptions] = None,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
 ) -> SuiteResults:
-    """Run (or fetch from cache) the benchmark suite simulations."""
+    """Run (or fetch from the persistent store) the benchmark suite.
+
+    ``jobs > 1`` distributes the (benchmark, mode) simulations over worker
+    processes; the merged output is bit-identical to the serial run, so the
+    cache key is deliberately independent of ``jobs``.
+    """
     names = tuple(benchmarks) if benchmarks is not None else QUICK_BENCHMARKS
-    key = (names, tuple(modes), scale, num_accesses, seed)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
-    results = run_suite(
-        names, modes=modes, scale=scale, num_accesses=num_accesses, seed=seed
-    )
+    if use_cache is None:
+        use_cache = bool(_EXECUTION_DEFAULTS["use_cache"])
+    if jobs is None:
+        jobs = int(_EXECUTION_DEFAULTS["jobs"])
+    if store is None:
+        store = default_store()
+
+    key = suite_key(names, modes, scale, num_accesses, seed, config, options)
     if use_cache:
-        _CACHE[key] = results
+        cached = store.get(key, decoder=_decode_suite)
+        if cached is not None:
+            return cached
+
+    if jobs != 1:
+        results = run_suite_parallel(
+            names,
+            modes=modes,
+            scale=scale,
+            num_accesses=num_accesses,
+            seed=seed,
+            config=config,
+            options=options,
+            jobs=jobs,
+        )
+    else:
+        results = run_suite(
+            names,
+            modes=modes,
+            scale=scale,
+            num_accesses=num_accesses,
+            seed=seed,
+            config=config,
+            options=options,
+        )
+    if use_cache:
+        store.put(key, results, encoder=_encode_suite)
     return results
 
 
-def clear_cache() -> None:
-    """Drop all cached suite results (used by tests)."""
-    _CACHE.clear()
-    _SPACE_CACHE.clear()
+def clear_cache(disk: bool = False) -> None:
+    """Drop cached results from the default store's memory layer.
+
+    Pass ``disk=True`` to also remove the persisted ``.repro_cache/`` entries.
+    """
+    store = default_store()
+    if disk:
+        store.clear()
+    else:
+        store.clear_memory()
 
 
 # ---------------------------------------------------------------------------
@@ -72,23 +190,95 @@ class SpaceStudyResult:
     in the trace updates the Trip page table directly, which measures the
     steady-state version-representation mix without the detailed performance
     model filtering writes through the data caches.
+
+    The measured quantities (format mix, usage breakdown, timeline, operation
+    counters) are stored as plain data so results round-trip through the
+    persistent store; ``device`` additionally carries the live
+    :class:`ToleoDevice` when the study ran serially in this process (it is
+    ``None`` for store-loaded and worker-computed results).
     """
 
     benchmark: str
-    device: "ToleoDevice"
     footprint_bytes: int
     timeline: List[Dict[str, int]]
+    format_counts: Dict[TripFormat, int] = field(default_factory=dict)
+    usage_bytes: Dict[str, int] = field(default_factory=dict)
+    table_pages: int = 0
+    updates: int = 0
+    reads: int = 0
+    device: Optional[ToleoDevice] = None
 
-    @property
-    def format_counts(self) -> Dict["TripFormat", int]:
-        return self.device.table.format_counts()
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "footprint_bytes": self.footprint_bytes,
+            "timeline": [dict(sample) for sample in self.timeline],
+            "format_counts": {
+                fmt.value: count for fmt, count in self.format_counts.items()
+            },
+            "usage_bytes": dict(self.usage_bytes),
+            "table_pages": self.table_pages,
+            "updates": self.updates,
+            "reads": self.reads,
+        }
 
-    @property
-    def usage_bytes(self) -> Dict[str, int]:
-        return self.device.usage_breakdown()
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SpaceStudyResult":
+        data = dict(payload)
+        data["format_counts"] = {
+            TripFormat(fmt): count for fmt, count in data["format_counts"].items()
+        }
+        return cls(**data)
 
 
-_SPACE_CACHE: Dict[Tuple, Dict[str, SpaceStudyResult]] = {}
+def _encode_space(study: Dict[str, SpaceStudyResult]) -> Dict[str, Any]:
+    return {name: result.to_dict() for name, result in study.items()}
+
+
+def _decode_space(payload: Dict[str, Any]) -> Dict[str, SpaceStudyResult]:
+    return {
+        name: SpaceStudyResult.from_dict(result) for name, result in payload.items()
+    }
+
+
+def _replay_space_study(
+    name: str, scale: float, num_accesses: int, seed: int, timeline_samples: int
+) -> SpaceStudyResult:
+    """Replay one benchmark's write stream into a fresh Toleo device."""
+    from repro.crypto.rng import DRangeRng
+    from repro.memory.address import block_index_in_page, page_number
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(name, scale=scale, seed=seed)
+    device = ToleoDevice(config=None, rng=DRangeRng(seed=seed), strict_capacity=False)
+    timeline: List[Dict[str, int]] = []
+    sample_every = max(1, num_accesses // max(1, timeline_samples))
+    for i, (address, is_write) in enumerate(workload.access_stream(num_accesses)):
+        if i % sample_every == 0:
+            timeline.append(device.snapshot_usage())
+        if is_write:
+            device.update(page_number(address), block_index_in_page(address))
+    timeline.append(device.snapshot_usage())
+    return SpaceStudyResult(
+        benchmark=name,
+        footprint_bytes=workload.footprint_bytes,
+        timeline=timeline,
+        format_counts=device.table.format_counts(),
+        usage_bytes=device.usage_breakdown(),
+        table_pages=len(device.table),
+        updates=device.stats.updates,
+        reads=device.stats.reads,
+        device=device,
+    )
+
+
+def _space_study_task(task: Tuple[str, float, int, int, int]) -> SpaceStudyResult:
+    """Worker body: one benchmark's space study, without the live device
+    (devices are process-local; shipping one across the pool boundary would
+    only pickle dead weight)."""
+    result = _replay_space_study(*task)
+    result.device = None
+    return result
 
 
 def run_space_study(
@@ -97,41 +287,43 @@ def run_space_study(
     num_accesses: int = 150_000,
     seed: int = 1234,
     timeline_samples: int = 40,
-    use_cache: bool = True,
+    use_cache: Optional[bool] = None,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
 ) -> Dict[str, SpaceStudyResult]:
     """Replay each benchmark's write stream directly into a Toleo device."""
-    from repro.core.toleo import ToleoDevice
-    from repro.crypto.rng import DRangeRng
-    from repro.memory.address import block_index_in_page, page_number
-    from repro.workloads.registry import get_workload
-
     names = tuple(benchmarks) if benchmarks is not None else QUICK_BENCHMARKS
-    key = (names, scale, num_accesses, seed, timeline_samples)
-    if use_cache and key in _SPACE_CACHE:
-        return _SPACE_CACHE[key]
+    if use_cache is None:
+        use_cache = bool(_EXECUTION_DEFAULTS["use_cache"])
+    if jobs is None:
+        jobs = int(_EXECUTION_DEFAULTS["jobs"])
+    if store is None:
+        store = default_store()
 
-    results: Dict[str, SpaceStudyResult] = {}
-    for name in names:
-        workload = get_workload(name, scale=scale, seed=seed)
-        device = ToleoDevice(
-            config=None, rng=DRangeRng(seed=seed), strict_capacity=False
-        )
-        timeline: List[Dict[str, int]] = []
-        sample_every = max(1, num_accesses // max(1, timeline_samples))
-        for i, access in enumerate(workload.generate(num_accesses)):
-            if i % sample_every == 0:
-                timeline.append(device.snapshot_usage())
-            if access.is_write:
-                device.update(page_number(access.address), block_index_in_page(access.address))
-        timeline.append(device.snapshot_usage())
-        results[name] = SpaceStudyResult(
-            benchmark=name,
-            device=device,
-            footprint_bytes=workload.footprint_bytes,
-            timeline=timeline,
-        )
+    key = content_key(
+        "space",
+        benchmarks=list(names),
+        scale=scale,
+        num_accesses=num_accesses,
+        seed=seed,
+        timeline_samples=timeline_samples,
+    )
     if use_cache:
-        _SPACE_CACHE[key] = results
+        cached = store.get(key, decoder=_decode_space)
+        if cached is not None:
+            return cached
+
+    if jobs != 1 and len(names) > 1:
+        tasks = [(name, scale, num_accesses, seed, timeline_samples) for name in names]
+        computed = parallel_map(_space_study_task, tasks, jobs=jobs)
+        results = {name: result for name, result in zip(names, computed)}
+    else:
+        results = {
+            name: _replay_space_study(name, scale, num_accesses, seed, timeline_samples)
+            for name in names
+        }
+    if use_cache:
+        store.put(key, results, encoder=_encode_space)
     return results
 
 
@@ -139,6 +331,8 @@ __all__ = [
     "run_benchmarks",
     "run_space_study",
     "clear_cache",
+    "configure",
+    "suite_key",
     "SuiteResults",
     "SpaceStudyResult",
     "DEFAULT_BENCHMARKS",

@@ -39,7 +39,7 @@ from repro.sim.configs import (
     ProtectionMode,
 )
 from repro.sim.results import LatencyBreakdown, SimulationResult, TrafficBreakdown
-from repro.workloads.base import MemoryAccess, Workload
+from repro.workloads.base import Trace, Workload
 
 
 @dataclass
@@ -91,11 +91,11 @@ class SimulationEngine:
 
     def run(
         self,
-        workload: Workload,
+        workload: Workload | Trace,
         num_accesses: int = 100_000,
         baseline_time_ns: Optional[float] = None,
     ) -> SimulationResult:
-        """Replay ``num_accesses`` of the workload and return the results."""
+        """Replay ``num_accesses`` of the workload (or captured trace)."""
         cfg = self.config
         mode = self.params.mode
 
@@ -122,15 +122,15 @@ class SimulationEngine:
         aes_latency_ns = cfg.aes_latency_cycles * cfg.cycle_ns
         invisimem = self.params.invisimem
 
-        for i, access in enumerate(workload.generate(num_accesses)):
-            result = hierarchy.access(access.address, access.is_write)
+        for i, (address, is_write) in enumerate(workload.access_stream(num_accesses)):
+            result = hierarchy.access(address, is_write)
             if toleo is not None and i % sample_every == 0:
                 timeline.append(toleo.snapshot_usage())
             if not result.llc_miss:
                 continue
 
             # ---- data fetch -------------------------------------------------
-            dram_ns = rack.access(access.address, CACHE_BLOCK_BYTES, is_write=False)
+            dram_ns = rack.access(address, CACHE_BLOCK_BYTES, is_write=False)
             data_bytes = CACHE_BLOCK_BYTES
             if invisimem is not None:
                 data_bytes = invisimem.packet_bytes(CACHE_BLOCK_BYTES)
@@ -148,7 +148,7 @@ class SimulationEngine:
 
             # ---- integrity ---------------------------------------------------
             if mac_cache is not None:
-                hit = mac_cache.access(access.address, is_write=False)
+                hit = mac_cache.access(address, is_write=False)
                 if not hit:
                     mac_bytes = CACHE_BLOCK_BYTES
                     if invisimem is not None:
@@ -156,15 +156,15 @@ class SimulationEngine:
                             invisimem.metadata_bytes_per_access(CACHE_BLOCK_BYTES)
                         )
                     traffic.mac_uv_bytes += mac_bytes
-                    mac_latency = rack.access(access.address, mac_bytes, is_write=False)
+                    mac_latency = rack.access(address, mac_bytes, is_write=False)
                     read_latency_sums.integrity_ns += (
                         mac_latency * self.options.integrity_overlap
                     )
 
             # ---- freshness (Toleo) --------------------------------------------
             if toleo is not None and stealth_cache is not None:
-                page = page_number(access.address)
-                block = block_index_in_page(access.address)
+                page = page_number(address)
+                block = block_index_in_page(address)
                 fmt = toleo.table.format_of(page) if page in toleo.table else TripFormat.FLAT
                 cache_access = stealth_cache.access(page, fmt, is_write=False)
                 if not cache_access.hit:
@@ -316,6 +316,14 @@ class SimulationEngine:
 # Convenience drivers
 # ---------------------------------------------------------------------------
 
+def ordered_modes(modes: Sequence[ProtectionMode]) -> List[ProtectionMode]:
+    """The mode execution order: NoProtect first (it provides the baseline)."""
+    ordered = list(modes)
+    if ProtectionMode.NOPROTECT not in ordered:
+        ordered.insert(0, ProtectionMode.NOPROTECT)
+    return ordered
+
+
 def compare_modes(
     workload_factory,
     modes: Sequence[ProtectionMode] = EVALUATED_MODES,
@@ -323,24 +331,29 @@ def compare_modes(
     config: Optional[SystemConfig] = None,
     options: Optional[EngineOptions] = None,
     seed: int = 0,
+    reuse_trace: bool = True,
 ) -> Dict[ProtectionMode, SimulationResult]:
     """Run one workload under several configurations with a shared baseline.
 
     ``workload_factory`` is a zero-argument callable returning a *fresh*
-    workload instance (each run must replay an identical trace, which
-    requires resetting the workload's RNG).
+    workload instance.  With ``reuse_trace`` (the default fast path) the
+    trace is captured once and replayed for every mode; otherwise a fresh
+    workload regenerates the identical trace per mode (same seed), which is
+    slower but produces bit-identical results -- the equivalence is pinned by
+    the simulator tests.
     """
     results: Dict[ProtectionMode, SimulationResult] = {}
     baseline_time: Optional[float] = None
 
-    ordered = list(modes)
-    if ProtectionMode.NOPROTECT not in ordered:
-        ordered.insert(0, ProtectionMode.NOPROTECT)
+    trace: Optional[Trace] = None
+    if reuse_trace:
+        trace = workload_factory().capture(num_accesses)
 
-    for mode in ordered:
+    for mode in ordered_modes(modes):
         engine = SimulationEngine.from_mode(mode, config=config, options=options, seed=seed)
+        subject = trace if trace is not None else workload_factory()
         result = engine.run(
-            workload_factory(), num_accesses=num_accesses, baseline_time_ns=baseline_time
+            subject, num_accesses=num_accesses, baseline_time_ns=baseline_time
         )
         if mode is ProtectionMode.NOPROTECT:
             baseline_time = result.execution_time_ns
@@ -362,6 +375,7 @@ def run_suite(
     seed: int = 1234,
     config: Optional[SystemConfig] = None,
     options: Optional[EngineOptions] = None,
+    reuse_trace: bool = True,
 ) -> Dict[str, Dict[ProtectionMode, SimulationResult]]:
     """Run a list of named benchmarks under the requested configurations."""
     from repro.workloads.registry import get_workload
@@ -375,8 +389,9 @@ def run_suite(
             config=config,
             options=options,
             seed=seed,
+            reuse_trace=reuse_trace,
         )
     return suite
 
 
-__all__ = ["SimulationEngine", "EngineOptions", "compare_modes", "run_suite"]
+__all__ = ["SimulationEngine", "EngineOptions", "compare_modes", "ordered_modes", "run_suite"]

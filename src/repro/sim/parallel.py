@@ -1,0 +1,120 @@
+"""Parallel experiment orchestration over (benchmark, mode) pairs.
+
+Every (benchmark, protection-mode) simulation is independent: the engine
+builds its own cache hierarchy, Toleo device and RNGs from the run seed, and
+the only cross-mode coupling -- the NoProtect baseline time stitched into
+each result -- is a pure post-processing step.  That makes the suite
+embarrassingly parallel, and :func:`run_suite_parallel` fans the pairs out
+over a ``multiprocessing`` pool and then merges deterministically:
+
+* tasks are enumerated benchmark-major, mode-minor (the serial order), and
+  results are reassembled into the same nested dict shape regardless of
+  completion order;
+* each worker replays the same captured trace a serial run would (same
+  workload seed), so the merged output is **bit-identical** to
+  :func:`repro.sim.engine.run_suite` -- pinned by ``tests/sim/test_parallel``.
+
+Workers memoise captured traces per process (`capture_trace`), so all modes
+of a benchmark that land on the same worker share one trace generation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.sim.configs import EVALUATED_MODES, ProtectionMode
+from repro.sim.engine import EngineOptions, SimulationEngine, ordered_modes
+from repro.sim.results import SimulationResult
+
+SuiteResults = Dict[str, Dict[ProtectionMode, SimulationResult]]
+
+#: One unit of work: everything a worker needs to run one simulation.
+SuiteTask = Tuple[str, ProtectionMode, float, int, int, Optional[SystemConfig], Optional[EngineOptions]]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: None/0 means one worker per CPU."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, shares the imported package) where available."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def parallel_map(func: Callable, tasks: Sequence, jobs: Optional[int] = None) -> List:
+    """Map ``func`` over ``tasks`` with up to ``jobs`` worker processes.
+
+    Falls back to an in-process loop for a single job or a single task, so
+    callers get one code path whose serial case adds zero overhead.  Results
+    are returned in task order (``Pool.map`` preserves ordering), which is
+    what keeps the parallel suite merge deterministic.
+    """
+    jobs = min(resolve_jobs(jobs), len(tasks))
+    if jobs <= 1 or len(tasks) <= 1:
+        return [func(task) for task in tasks]
+    with _pool_context().Pool(processes=jobs) as pool:
+        return pool.map(func, tasks, chunksize=1)
+
+
+def _run_suite_task(task: SuiteTask) -> SimulationResult:
+    """Worker body: simulate one (benchmark, mode) pair from its trace."""
+    from repro.workloads.registry import capture_trace
+
+    name, mode, scale, num_accesses, seed, config, options = task
+    trace = capture_trace(name, scale=scale, seed=seed, num_accesses=num_accesses)
+    engine = SimulationEngine.from_mode(mode, config=config, options=options, seed=seed)
+    return engine.run(trace, num_accesses=num_accesses)
+
+
+def run_suite_parallel(
+    benchmark_names: Iterable[str],
+    modes: Sequence[ProtectionMode] = EVALUATED_MODES,
+    scale: float = 0.002,
+    num_accesses: int = 100_000,
+    seed: int = 1234,
+    config: Optional[SystemConfig] = None,
+    options: Optional[EngineOptions] = None,
+    jobs: Optional[int] = None,
+) -> SuiteResults:
+    """Run the benchmark suite with (benchmark, mode) pairs fanned out.
+
+    Returns exactly what :func:`repro.sim.engine.run_suite` returns -- same
+    nesting, same iteration order, same numbers -- but with the independent
+    simulations spread over ``jobs`` worker processes.
+    """
+    names = list(benchmark_names)
+    mode_order = ordered_modes(modes)
+    tasks: List[SuiteTask] = [
+        (name, mode, scale, num_accesses, seed, config, options)
+        for name in names
+        for mode in mode_order
+    ]
+    results = parallel_map(_run_suite_task, tasks, jobs=jobs)
+
+    suite: SuiteResults = {name: {} for name in names}
+    for (name, mode, *_), result in zip(tasks, results):
+        suite[name][mode] = result
+
+    # Stitch in the per-benchmark NoProtect baseline, exactly as the serial
+    # driver does after its NoProtect run.
+    for per_mode in suite.values():
+        baseline = per_mode[ProtectionMode.NOPROTECT].execution_time_ns
+        for result in per_mode.values():
+            result.baseline_time_ns = baseline
+    return suite
+
+
+__all__ = [
+    "SuiteResults",
+    "parallel_map",
+    "resolve_jobs",
+    "run_suite_parallel",
+]

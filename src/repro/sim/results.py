@@ -32,6 +32,18 @@ class TrafficBreakdown:
     def total_bytes(self) -> int:
         return self.data_bytes + self.mac_uv_bytes + self.stealth_bytes + self.dummy_bytes
 
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "data_bytes": self.data_bytes,
+            "mac_uv_bytes": self.mac_uv_bytes,
+            "stealth_bytes": self.stealth_bytes,
+            "dummy_bytes": self.dummy_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, int]) -> "TrafficBreakdown":
+        return cls(**payload)
+
     def per_instruction(self, instructions: int) -> Dict[str, float]:
         if instructions <= 0:
             return {"data": 0.0, "mac_uv": 0.0, "stealth": 0.0, "dummy": 0.0}
@@ -72,6 +84,19 @@ class LatencyBreakdown:
             "side_channel": self.side_channel_ns,
             "total": self.total_ns,
         }
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "dram_ns": self.dram_ns,
+            "decryption_ns": self.decryption_ns,
+            "integrity_ns": self.integrity_ns,
+            "freshness_ns": self.freshness_ns,
+            "side_channel_ns": self.side_channel_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "LatencyBreakdown":
+        return cls(**payload)
 
 
 @dataclass
@@ -139,6 +164,40 @@ class SimulationResult:
             return 0.0
         total_toleo = sum(self.toleo_usage_bytes.values()) or self.toleo_peak_bytes
         return (total_toleo / (1 << 30)) / (footprint / (1 << 40))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-serialisable form (persistent result store)."""
+        return {
+            "workload": self.workload,
+            "mode": self.mode.value,
+            "instructions": self.instructions,
+            "accesses": self.accesses,
+            "llc_misses": self.llc_misses,
+            "writebacks": self.writebacks,
+            "execution_time_ns": self.execution_time_ns,
+            "traffic": self.traffic.to_dict(),
+            "latency": self.latency.to_dict(),
+            "stealth_cache_hit_rate": self.stealth_cache_hit_rate,
+            "mac_cache_hit_rate": self.mac_cache_hit_rate,
+            "trip_format_counts": {
+                fmt.value: count for fmt, count in self.trip_format_counts.items()
+            },
+            "toleo_usage_bytes": dict(self.toleo_usage_bytes),
+            "toleo_peak_bytes": self.toleo_peak_bytes,
+            "toleo_usage_timeline": [dict(s) for s in self.toleo_usage_timeline],
+            "baseline_time_ns": self.baseline_time_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimulationResult":
+        data = dict(payload)
+        data["mode"] = ProtectionMode(data["mode"])
+        data["traffic"] = TrafficBreakdown.from_dict(data["traffic"])
+        data["latency"] = LatencyBreakdown.from_dict(data["latency"])
+        data["trip_format_counts"] = {
+            TripFormat(fmt): count for fmt, count in data["trip_format_counts"].items()
+        }
+        return cls(**data)
 
     def summary(self) -> Dict[str, object]:
         """A flat dictionary convenient for tabular reports."""

@@ -1,0 +1,248 @@
+"""Persistent, content-addressed store for simulation results.
+
+The experiment harness used to memoise suite results in a per-process dict,
+which meant every new process (CI job, figure script, notebook) replayed the
+full benchmark suite from scratch -- and the cache key silently omitted the
+``SystemConfig``/``EngineOptions``, so two runs with different configurations
+could be served each other's results.  This module fixes both:
+
+* :func:`content_key` hashes the *complete* run description -- benchmark
+  names, modes, scale, trace length, seed, and the full ``SystemConfig`` and
+  ``EngineOptions`` dataclasses (recursively) -- into a stable hex digest.
+  Any change to any field produces a different key.
+* :class:`ResultStore` is a two-layer cache: an in-process memory layer that
+  preserves object identity (repeated calls in one process return the same
+  object), and an on-disk JSON layer under ``.repro_cache/`` (override with
+  ``REPRO_CACHE_DIR``) that survives across processes, so a second invocation
+  of ``repro bench`` is served in milliseconds.
+
+Entries are wrapped in a versioned envelope; bumping ``FORMAT_VERSION``
+invalidates every existing on-disk entry at once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional
+
+#: Bump whenever the serialised payload layout changes.
+FORMAT_VERSION = 1
+
+#: Default on-disk location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file, folded into all cache keys.
+
+    The run parameters describe *what* was simulated, not *how*: after any
+    edit to the performance model a warm ``.repro_cache/`` would otherwise
+    silently keep serving the old model's numbers -- the worst failure mode
+    for a reproducibility repo.  Hashing the package source makes every code
+    change invalidate the persistent store automatically (conservative, but
+    re-simulation is cheap next to a wrong figure).
+    """
+    import repro
+
+    digest = hashlib.sha256()
+    try:
+        root = Path(repro.__file__).resolve().parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+    except OSError:
+        return getattr(repro, "__version__", "unknown")
+    return digest.hexdigest()
+
+
+def _canonical(value: Any) -> Any:
+    """Convert a run parameter into a canonical JSON-serialisable form.
+
+    Dataclasses are tagged with their class name so two different
+    configuration types with coincidentally equal fields hash differently;
+    enums collapse to their value; tuples/sets become lists.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__class__": type(value).__name__, **fields}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [_canonical(v) for v in items]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot build a stable cache key from {type(value).__name__}")
+
+
+def content_key(kind: str, **params: Any) -> str:
+    """A stable content hash of a run description.
+
+    ``kind`` namespaces the entry (``"suite"``, ``"space"``, ...); ``params``
+    is everything that influences the result.  The digest is prefixed with the
+    kind so cache files remain human-identifiable on disk.
+    """
+    payload = {
+        "kind": kind,
+        "format": FORMAT_VERSION,
+        "code": code_fingerprint(),
+        "params": _canonical(params),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return f"{kind}-{hashlib.sha256(blob.encode('utf-8')).hexdigest()}"
+
+
+class ResultStore:
+    """Two-layer (memory + JSON-on-disk) result cache.
+
+    The memory layer holds the live Python objects and preserves identity;
+    the disk layer holds their serialised form.  Values without an encoder
+    stay memory-only.  Corrupt or version-mismatched disk entries are treated
+    as misses, never errors.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        self._memory: Dict[str, Any] = {}
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(
+        self, key: str, decoder: Optional[Callable[[Any], Any]] = None
+    ) -> Optional[Any]:
+        """Fetch a cached value, promoting disk hits into the memory layer."""
+        if key in self._memory:
+            return self._memory[key]
+        if decoder is None:
+            return None
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path) as handle:
+                envelope = json.load(handle)
+            if envelope.get("format") != FORMAT_VERSION or envelope.get("key") != key:
+                return None
+            value = decoder(envelope["payload"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        self._memory[key] = value
+        return value
+
+    def put(
+        self,
+        key: str,
+        value: Any,
+        encoder: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        """Insert a value; with an encoder it is also written to disk.
+
+        The disk write is atomic (temp file + rename) so a killed worker never
+        leaves a half-written entry, and any I/O failure degrades to
+        memory-only caching rather than failing the run.
+        """
+        self._memory[key] = value
+        if encoder is None:
+            return
+        envelope = {"format": FORMAT_VERSION, "key": key, "payload": encoder(value)}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(envelope, handle, separators=(",", ":"))
+                os.replace(tmp_name, self.path_for(key))
+            finally:
+                if os.path.exists(tmp_name):
+                    os.unlink(tmp_name)
+        except OSError:
+            pass
+
+    # -- maintenance ---------------------------------------------------------
+
+    def invalidate(self, key: str) -> None:
+        """Drop one entry from both layers."""
+        self._memory.pop(key, None)
+        try:
+            self.path_for(key).unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer only (disk entries survive)."""
+        self._memory.clear()
+
+    def clear(self) -> None:
+        """Drop both layers."""
+        self.clear_memory()
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def disk_keys(self) -> Iterator[str]:
+        """Keys currently present on disk."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*.json")):
+            yield path.stem
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+_DEFAULT_STORE: Optional[ResultStore] = None
+
+
+def default_store() -> ResultStore:
+    """The process-wide store used by the experiment harness."""
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None:
+        _DEFAULT_STORE = ResultStore()
+    return _DEFAULT_STORE
+
+
+def set_default_store(store: Optional[ResultStore]) -> None:
+    """Replace the process-wide store (tests point it at a temp directory)."""
+    global _DEFAULT_STORE
+    _DEFAULT_STORE = store
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "FORMAT_VERSION",
+    "ResultStore",
+    "code_fingerprint",
+    "content_key",
+    "default_store",
+    "set_default_store",
+]

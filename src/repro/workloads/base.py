@@ -12,8 +12,9 @@ locality) and the page-access distribution.
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.config import CACHE_BLOCK_BYTES, GIB, PAGE_BYTES
 
@@ -198,6 +199,41 @@ class Workload:
         """Materialise the trace as a list."""
         return list(self.generate(num_accesses))
 
+    def access_stream(self, num_accesses: int = 200_000) -> Iterator[Tuple[int, bool]]:
+        """Yield ``(address, is_write)`` pairs -- the simulator's hot loop.
+
+        The engine only ever consumes the address and the write flag, so this
+        avoids committing to :class:`MemoryAccess` object construction in the
+        replay path; :class:`Trace` overrides it to stream straight out of
+        packed arrays.
+        """
+        for access in self.generate(num_accesses):
+            yield access.address, access.is_write
+
+    def capture(self, num_accesses: int = 200_000) -> "Trace":
+        """Materialise this workload's trace into a replayable :class:`Trace`.
+
+        The captured trace carries everything the simulation engine reads from
+        a workload (name, footprint, MPKI calibration), so it can stand in for
+        the workload across repeated runs -- one trace generation feeds every
+        protection mode instead of re-running the phase generators per mode.
+        """
+        addresses = array("Q")
+        writes = bytearray()
+        for access in self.generate(num_accesses):
+            addresses.append(access.address)
+            writes.append(1 if access.is_write else 0)
+        return Trace(
+            name=self.name,
+            scale=self.scale,
+            seed=self.seed,
+            footprint_bytes=self.footprint_bytes,
+            llc_mpki=self.characteristics.llc_mpki,
+            instructions_per_access=self.characteristics.instructions_per_access,
+            addresses=addresses,
+            writes=writes,
+        )
+
     # -- derived metrics --------------------------------------------------------------------
 
     @property
@@ -229,9 +265,60 @@ class Workload:
         )
 
 
+@dataclass
+class Trace:
+    """A captured access trace, replayable in place of its source workload.
+
+    Addresses and write flags live in packed arrays (8 B + 1 B per access), so
+    a captured trace is cheap to hold, cheap to pickle across worker-process
+    boundaries, and replays without touching the phase generators or the
+    workload RNG.  Replaying a trace is deterministic by construction: every
+    protection mode sees exactly the same access sequence, which is what makes
+    parallel (benchmark, mode) fan-out bit-identical to the serial run.
+    """
+
+    name: str
+    scale: float
+    seed: int
+    footprint_bytes: int
+    llc_mpki: float
+    instructions_per_access: float
+    addresses: array
+    writes: bytearray
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def access_stream(self, num_accesses: Optional[int] = None) -> Iterator[Tuple[int, bool]]:
+        """Replay ``(address, is_write)`` pairs from the captured arrays."""
+        count = len(self.addresses) if num_accesses is None else num_accesses
+        if count > len(self.addresses):
+            raise ValueError(
+                f"trace for {self.name!r} holds {len(self.addresses)} accesses, "
+                f"cannot replay {count}"
+            )
+        addresses = self.addresses
+        writes = self.writes
+        for i in range(count):
+            yield addresses[i], bool(writes[i])
+
+    def generate(self, num_accesses: Optional[int] = None) -> Iterator[MemoryAccess]:
+        """Replay the trace as :class:`MemoryAccess` objects (compatibility)."""
+        for address, is_write in self.access_stream(num_accesses):
+            yield MemoryAccess(address=address, is_write=is_write)
+
+    def instruction_count(self, num_accesses: int, llc_misses: Optional[int] = None) -> int:
+        """Identical calibration to :meth:`Workload.instruction_count`."""
+        if llc_misses is not None and self.llc_mpki > 0:
+            calibrated = int(llc_misses * 1000.0 / self.llc_mpki)
+            return max(calibrated, num_accesses)
+        return int(num_accesses * self.instructions_per_access)
+
+
 __all__ = [
     "MemoryAccess",
     "MemoryRegion",
+    "Trace",
     "Workload",
     "WorkloadPhase",
     "WorkloadCharacteristics",

@@ -8,10 +8,11 @@ generates its synthetic trace.  ``get_workload`` builds a scaled instance.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Type
 
 from repro.core.config import GIB
-from repro.workloads.base import Workload
+from repro.workloads.base import Trace, Workload
 from repro.workloads.database import DATABASE_WORKLOADS
 from repro.workloads.genomics import GENOMICS_WORKLOADS
 from repro.workloads.graph import GRAPH_WORKLOADS
@@ -73,14 +74,22 @@ BENCHMARKS: Dict[str, BenchmarkInfo] = _build_registry()
 WORKLOAD_NAMES: List[str] = list(BENCHMARKS)
 
 
+class UnknownBenchmarkError(KeyError):
+    """Raised for a benchmark name not in the registry (a user-input error,
+    as opposed to an internal ``KeyError``, so CLIs can catch it narrowly)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(
+            f"unknown benchmark {name!r}; available: {', '.join(WORKLOAD_NAMES)}"
+        )
+
+
 def benchmark_info(name: str) -> BenchmarkInfo:
     """Look up a benchmark's Table 2 reference characteristics."""
     try:
         return BENCHMARKS[name]
     except KeyError:
-        raise KeyError(
-            f"unknown benchmark {name!r}; available: {', '.join(WORKLOAD_NAMES)}"
-        ) from None
+        raise UnknownBenchmarkError(name) from None
 
 
 def get_workload(name: str, scale: float = 0.002, seed: int = 1234) -> Workload:
@@ -94,4 +103,27 @@ def get_workload(name: str, scale: float = 0.002, seed: int = 1234) -> Workload:
     return info.workload_class(scale=scale, seed=seed)
 
 
-__all__ = ["BenchmarkInfo", "BENCHMARKS", "WORKLOAD_NAMES", "benchmark_info", "get_workload"]
+@lru_cache(maxsize=32)
+def capture_trace(
+    name: str, scale: float = 0.002, seed: int = 1234, num_accesses: int = 100_000
+) -> Trace:
+    """Build a benchmark workload and capture its trace once per process.
+
+    Trace generation (phase generators + RNG) dominates short simulations, and
+    the same (name, scale, seed, num_accesses) trace is replayed for every
+    protection mode, so the captured arrays are memoised.  Worker processes in
+    the parallel runner each build their own memo; within a worker, all modes
+    of a benchmark share one capture.
+    """
+    return get_workload(name, scale=scale, seed=seed).capture(num_accesses)
+
+
+__all__ = [
+    "BenchmarkInfo",
+    "BENCHMARKS",
+    "UnknownBenchmarkError",
+    "WORKLOAD_NAMES",
+    "benchmark_info",
+    "capture_trace",
+    "get_workload",
+]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import os
 import sys
+import tempfile
 
 import pytest
 
@@ -12,6 +13,12 @@ import pytest
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+# Hermetic persistent-result store: point the default ResultStore at a fresh
+# per-session temp directory so test runs never read (or pollute) the
+# developer's .repro_cache/.  Must happen before the default store is first
+# used; setdefault so a combined tests+benchmarks session shares one store.
+os.environ.setdefault("REPRO_CACHE_DIR", tempfile.mkdtemp(prefix="repro-test-cache-"))
 
 from repro.core.config import SystemConfig, ToleoConfig
 from repro.core.protection import MemoryProtectionEngine, ProtectionLevel

@@ -24,6 +24,21 @@ class TestParser:
             "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "sec62",
         }
 
+    def test_jobs_flag_parsed(self):
+        args = cli.build_parser().parse_args(["bench", "--jobs", "4"])
+        assert args.jobs == 4
+        args = cli.build_parser().parse_args(["bench", "-j", "0"])
+        assert args.jobs == 0
+
+    def test_jobs_defaults_to_serial(self):
+        args = cli.build_parser().parse_args(["fig6"])
+        assert args.jobs == 1
+        assert args.no_cache is False
+
+    def test_no_cache_flag_parsed(self):
+        args = cli.build_parser().parse_args(["bench", "--no-cache"])
+        assert args.no_cache is True
+
 
 class TestBenchmarkResolution:
     def test_explicit_benchmarks_win(self):
@@ -60,3 +75,46 @@ class TestRendering:
     def test_sec62_static_render(self, capsys):
         assert cli.main(["sec62"]) == 0
         assert "Section 6.2" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_unknown_benchmark_is_a_clean_error(self, capsys):
+        assert cli.main(["bench", "--benchmarks", "nope", "--accesses", "1000"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark" in err and "Traceback" not in err
+
+    def test_unknown_benchmark_in_experiment_is_a_clean_error(self, capsys):
+        assert cli.main(["fig6", "--benchmarks", "nope", "--accesses", "1000"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_bench_listed(self, capsys):
+        assert cli.main(["list"]) == 0
+        assert "bench" in capsys.readouterr().out.split()
+
+    def test_bench_serial(self, capsys):
+        assert cli.main(["bench", "--benchmarks", "hyrise", "--accesses", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "hyrise" in out
+        assert "NoProtect" in out and "Toleo" in out
+        assert "wall time" in out
+
+    def test_bench_parallel_matches_serial(self, capsys):
+        assert cli.main(
+            ["bench", "--benchmarks", "bsw", "--accesses", "3000", "--no-cache"]
+        ) == 0
+        serial_table = capsys.readouterr().out.splitlines()
+        assert cli.main(
+            ["bench", "--benchmarks", "bsw", "--accesses", "3000", "--no-cache",
+             "--jobs", "2"]
+        ) == 0
+        parallel_table = capsys.readouterr().out.splitlines()
+        # Identical slowdown rows; only the wall-time/flags footer may differ.
+        assert serial_table[:6] == parallel_table[:6]
+
+    def test_bench_second_call_served_from_store(self, capsys):
+        args = ["bench", "--benchmarks", "hyrise", "--accesses", "3100"]
+        assert cli.main(args) == 0
+        first = capsys.readouterr().out
+        assert cli.main(args) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[:6] == second.splitlines()[:6]

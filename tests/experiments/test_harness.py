@@ -51,17 +51,59 @@ class TestRunSpaceStudy:
         assert isinstance(result, SpaceStudyResult)
         assert result.footprint_bytes > 0
         assert len(result.timeline) > 1
-        assert sum(result.format_counts.values()) == len(result.device.table)
+        assert sum(result.format_counts.values()) == result.table_pages
         assert set(result.usage_bytes) == {"flat", "uneven", "full"}
+
+    def test_serial_study_keeps_the_live_device(self):
+        study = run_space_study(("bsw",), scale=0.001, num_accesses=10_000)
+        result = study["bsw"]
+        if result.device is not None:  # absent when served from the disk store
+            assert len(result.device.table) == result.table_pages
 
     def test_only_writes_reach_the_device(self):
         study = run_space_study(("bsw",), scale=0.001, num_accesses=10_000)
-        device = study["bsw"].device
-        assert device.stats.updates > 0
-        assert device.stats.reads == 0
+        result = study["bsw"]
+        assert result.updates > 0
+        assert result.reads == 0
 
     def test_flat_dominates_for_dp_kernel(self):
         study = run_space_study(("bsw",), scale=0.001, num_accesses=10_000)
         counts = study["bsw"].format_counts
         total = sum(counts.values())
         assert counts[TripFormat.FLAT] / total > 0.9
+
+
+class TestConfigAwareCaching:
+    """Regression tests for the key bug: config/options used to be omitted."""
+
+    def test_different_config_not_served_same_entry(self):
+        import dataclasses
+
+        from repro.core.config import SystemConfig
+
+        default = run_benchmarks(("hyrise",), scale=0.002, num_accesses=4000)
+        slow_aes = run_benchmarks(
+            ("hyrise",),
+            scale=0.002,
+            num_accesses=4000,
+            config=dataclasses.replace(SystemConfig(), aes_latency_cycles=400),
+        )
+        assert default is not slow_aes
+        a = default["hyrise"][ProtectionMode.TOLEO]
+        b = slow_aes["hyrise"][ProtectionMode.TOLEO]
+        assert a.latency.decryption_ns != b.latency.decryption_ns
+
+    def test_different_options_not_served_same_entry(self):
+        from repro.sim.engine import EngineOptions
+
+        default = run_benchmarks(("hyrise",), scale=0.002, num_accesses=4000)
+        tuned = run_benchmarks(
+            ("hyrise",),
+            scale=0.002,
+            num_accesses=4000,
+            options=EngineOptions(base_cpi=1.2),
+        )
+        assert default is not tuned
+        a = default["hyrise"][ProtectionMode.NOPROTECT]
+        b = tuned["hyrise"][ProtectionMode.NOPROTECT]
+        assert a.execution_time_ns != b.execution_time_ns

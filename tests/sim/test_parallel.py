@@ -1,0 +1,106 @@
+"""The parallel suite runner must be bit-identical to the serial driver."""
+
+from repro.sim.configs import EVALUATED_MODES, LATENCY_MODES, ProtectionMode
+from repro.sim.engine import run_suite
+from repro.sim.parallel import parallel_map, resolve_jobs, run_suite_parallel
+
+BENCHES = ("bsw", "memcached")
+ACCESSES = 5000
+SCALE = 0.002
+SEED = 1234
+
+
+def _flatten(suite):
+    """Every measured field of every result, in iteration order."""
+    out = []
+    for bench, per_mode in suite.items():
+        for mode, r in per_mode.items():
+            out.append(
+                (
+                    bench,
+                    mode,
+                    r.workload,
+                    r.instructions,
+                    r.accesses,
+                    r.llc_misses,
+                    r.writebacks,
+                    r.execution_time_ns,
+                    r.baseline_time_ns,
+                    r.traffic.to_dict(),
+                    r.latency.to_dict(),
+                    r.stealth_cache_hit_rate,
+                    r.mac_cache_hit_rate,
+                    r.trip_format_counts,
+                    r.toleo_usage_bytes,
+                    r.toleo_peak_bytes,
+                    r.toleo_usage_timeline,
+                )
+            )
+    return out
+
+
+class TestParallelEqualsSerial:
+    def test_all_modes_bit_identical(self):
+        serial = run_suite(BENCHES, scale=SCALE, num_accesses=ACCESSES, seed=SEED)
+        parallel = run_suite_parallel(
+            BENCHES, scale=SCALE, num_accesses=ACCESSES, seed=SEED, jobs=2
+        )
+        assert _flatten(serial) == _flatten(parallel)
+
+    def test_latency_modes_bit_identical(self):
+        serial = run_suite(
+            BENCHES, modes=LATENCY_MODES, scale=SCALE, num_accesses=ACCESSES, seed=SEED
+        )
+        parallel = run_suite_parallel(
+            BENCHES,
+            modes=LATENCY_MODES,
+            scale=SCALE,
+            num_accesses=ACCESSES,
+            seed=SEED,
+            jobs=3,
+        )
+        assert _flatten(serial) == _flatten(parallel)
+
+    def test_merge_order_matches_serial(self):
+        suite = run_suite_parallel(
+            BENCHES, scale=SCALE, num_accesses=ACCESSES, seed=SEED, jobs=2
+        )
+        assert list(suite) == list(BENCHES)
+        for per_mode in suite.values():
+            assert tuple(per_mode) == EVALUATED_MODES
+
+    def test_noprotect_added_when_missing(self):
+        suite = run_suite_parallel(
+            ("bsw",),
+            modes=(ProtectionMode.CI,),
+            scale=SCALE,
+            num_accesses=ACCESSES,
+            seed=SEED,
+            jobs=2,
+        )
+        per_mode = suite["bsw"]
+        assert ProtectionMode.NOPROTECT in per_mode
+        ci = per_mode[ProtectionMode.CI]
+        assert ci.baseline_time_ns == per_mode[ProtectionMode.NOPROTECT].execution_time_ns
+        assert ci.slowdown > 1.0
+
+    def test_single_job_runs_in_process(self):
+        serial = run_suite(("bsw",), scale=SCALE, num_accesses=ACCESSES, seed=SEED)
+        inline = run_suite_parallel(
+            ("bsw",), scale=SCALE, num_accesses=ACCESSES, seed=SEED, jobs=1
+        )
+        assert _flatten(serial) == _flatten(inline)
+
+
+class TestHelpers:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+    def test_parallel_map_preserves_order(self):
+        tasks = list(range(20))
+        assert parallel_map(str, tasks, jobs=4) == [str(t) for t in tasks]
+
+    def test_parallel_map_serial_fallback(self):
+        assert parallel_map(str, [7], jobs=8) == ["7"]

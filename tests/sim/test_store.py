@@ -1,0 +1,183 @@
+"""Tests for the persistent result store and its content-hash keys."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.experiments.harness import run_benchmarks, suite_key
+from repro.sim.configs import EVALUATED_MODES, ProtectionMode
+from repro.sim.engine import EngineOptions, run_suite
+from repro.sim.results import SimulationResult
+from repro.sim.store import FORMAT_VERSION, ResultStore, content_key
+
+
+class TestContentKey:
+    def test_stable_across_calls(self):
+        a = content_key("suite", benchmarks=["bsw"], scale=0.002, config=SystemConfig())
+        b = content_key("suite", benchmarks=["bsw"], scale=0.002, config=SystemConfig())
+        assert a == b
+
+    def test_kind_prefix(self):
+        assert content_key("space", seed=1).startswith("space-")
+
+    def test_every_parameter_matters(self):
+        base = dict(
+            benchmarks=["bsw"],
+            modes=[m.value for m in EVALUATED_MODES],
+            scale=0.002,
+            num_accesses=4000,
+            seed=1234,
+            config=None,
+            options=None,
+        )
+        keys = {content_key("suite", **base)}
+        variants = [
+            {"benchmarks": ["pr"]},
+            {"scale": 0.001},
+            {"num_accesses": 4001},
+            {"seed": 1235},
+            {"config": SystemConfig()},
+            {"config": dataclasses.replace(SystemConfig(), aes_latency_cycles=41)},
+            {"options": EngineOptions()},
+            {"options": EngineOptions(base_cpi=0.7)},
+        ]
+        for override in variants:
+            keys.add(content_key("suite", **{**base, **override}))
+        assert len(keys) == len(variants) + 1
+
+    def test_nested_dataclass_fields_reach_the_key(self):
+        shrunk_l3 = dataclasses.replace(
+            SystemConfig(),
+            l3_config=dataclasses.replace(SystemConfig().l3_config, size_bytes=1 << 20),
+        )
+        assert content_key("suite", config=SystemConfig()) != content_key(
+            "suite", config=shrunk_l3
+        )
+
+    def test_unhashable_parameter_rejected(self):
+        with pytest.raises(TypeError):
+            content_key("suite", config=object())
+
+    def test_code_fingerprint_reaches_the_key(self, monkeypatch):
+        """A simulator source change must invalidate warm persistent caches."""
+        from repro.sim import store as store_module
+
+        before = content_key("suite", seed=1)
+        monkeypatch.setattr(store_module, "code_fingerprint", lambda: "other-code")
+        assert content_key("suite", seed=1) != before
+
+    def test_code_fingerprint_is_stable_and_hex(self):
+        from repro.sim.store import code_fingerprint
+
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+
+class TestResultStore:
+    def test_memory_layer_preserves_identity(self, tmp_path):
+        store = ResultStore(tmp_path)
+        value = {"anything": object()}
+        store.put("k", value)
+        assert store.get("k") is value
+
+    def test_memory_only_without_encoder(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"x": 1})
+        assert not store.path_for("k").exists()
+
+    def test_disk_round_trip(self, tmp_path):
+        first = ResultStore(tmp_path)
+        first.put("k", {"x": 1}, encoder=lambda v: v)
+        second = ResultStore(tmp_path)  # fresh process, cold memory layer
+        assert second.get("k", decoder=lambda p: p) == {"x": 1}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"x": 1}, encoder=lambda v: v)
+        store.path_for("k").write_text("{ not json")
+        assert ResultStore(tmp_path).get("k", decoder=lambda p: p) is None
+
+    def test_format_version_mismatch_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"x": 1}, encoder=lambda v: v)
+        envelope = json.loads(store.path_for("k").read_text())
+        envelope["format"] = FORMAT_VERSION + 1
+        store.path_for("k").write_text(json.dumps(envelope))
+        assert ResultStore(tmp_path).get("k", decoder=lambda p: p) is None
+
+    def test_invalidate_drops_both_layers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"x": 1}, encoder=lambda v: v)
+        store.invalidate("k")
+        assert store.get("k", decoder=lambda p: p) is None
+        assert not store.path_for("k").exists()
+
+    def test_clear_memory_keeps_disk(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"x": 1}, encoder=lambda v: v)
+        store.clear_memory()
+        assert store.get("k", decoder=lambda p: p) == {"x": 1}
+
+    def test_disk_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("suite-aa", 1, encoder=lambda v: v)
+        store.put("space-bb", 2, encoder=lambda v: v)
+        assert set(store.disk_keys()) == {"suite-aa", "space-bb"}
+
+
+class TestSuitePersistence:
+    def test_suite_round_trip_is_lossless(self, tmp_path):
+        store = ResultStore(tmp_path)
+        computed = run_benchmarks(
+            ("hyrise",), scale=0.002, num_accesses=4000, store=store
+        )
+        loaded = ResultStore(tmp_path)  # simulates a new process
+        served = run_benchmarks(
+            ("hyrise",), scale=0.002, num_accesses=4000, store=loaded
+        )
+        assert served is not computed
+        for mode in computed["hyrise"]:
+            a = computed["hyrise"][mode]
+            b = served["hyrise"][mode]
+            assert isinstance(b, SimulationResult)
+            assert a.to_dict() == b.to_dict()
+            assert a.slowdown == b.slowdown
+            assert b.mode is mode
+
+    def test_loaded_suite_matches_fresh_simulation(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_benchmarks(("hyrise",), scale=0.002, num_accesses=4000, store=store)
+        served = run_benchmarks(
+            ("hyrise",), scale=0.002, num_accesses=4000, store=ResultStore(tmp_path)
+        )
+        fresh = run_suite(("hyrise",), scale=0.002, num_accesses=4000, seed=1234)
+        for mode in fresh["hyrise"]:
+            assert served["hyrise"][mode].to_dict() == fresh["hyrise"][mode].to_dict()
+
+    def test_key_change_invalidates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a = run_benchmarks(("hyrise",), scale=0.002, num_accesses=4000, store=store)
+        b = run_benchmarks(("hyrise",), scale=0.002, num_accesses=4004, store=store)
+        assert a is not b
+        assert a["hyrise"][ProtectionMode.NOPROTECT].accesses == 4000
+        assert b["hyrise"][ProtectionMode.NOPROTECT].accesses == 4004
+
+    def test_no_cache_bypasses_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_benchmarks(
+            ("hyrise",), scale=0.002, num_accesses=4000, store=store, use_cache=False
+        )
+        assert len(list(store.disk_keys())) == 0
+        assert len(store) == 0
+
+    def test_suite_key_distinguishes_configs(self):
+        k_none = suite_key(("bsw",), EVALUATED_MODES, 0.002, 4000, 1234, None, None)
+        k_cfg = suite_key(
+            ("bsw",), EVALUATED_MODES, 0.002, 4000, 1234, SystemConfig(), None
+        )
+        k_opts = suite_key(
+            ("bsw",), EVALUATED_MODES, 0.002, 4000, 1234, None, EngineOptions()
+        )
+        assert len({k_none, k_cfg, k_opts}) == 3
