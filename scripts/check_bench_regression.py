@@ -31,18 +31,28 @@ sys.path.insert(
 )
 
 from repro.experiments.harness import QUICK_BENCHMARKS, run_benchmarks
-from repro.sim.configs import ProtectionMode
+from repro.sim.configs import EVALUATED_MODES, ProtectionMode
 
 BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_baseline.json")
 
+#: The gated configurations: the paper's Figure 6 set plus the simulated
+#: counter-tree and Client-SGX baseline modes.
+GATED_MODES = EVALUATED_MODES + (ProtectionMode.CIF_TREE, ProtectionMode.CLIENT_SGX)
+
 #: Pinned run parameters; changing any of these requires --update.
-SETTINGS = {"scale": 0.002, "num_accesses": 12_000, "seed": 1234}
+SETTINGS = {
+    "scale": 0.002,
+    "num_accesses": 12_000,
+    "seed": 1234,
+    "modes": [mode.value for mode in GATED_MODES],
+}
 
 
 def measure(jobs: int) -> dict:
-    """Current slowdown ratios for every (benchmark, protected mode) pair."""
+    """Current slowdown ratios for every (benchmark, gated mode) pair."""
     suite = run_benchmarks(
         QUICK_BENCHMARKS,
+        modes=GATED_MODES,
         scale=SETTINGS["scale"],
         num_accesses=SETTINGS["num_accesses"],
         seed=SETTINGS["seed"],

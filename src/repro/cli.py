@@ -2,12 +2,15 @@
 
 Installed as the ``repro`` console script (``toleo-repro`` is an alias)::
 
-    repro list                           # show available experiments
+    repro list                           # experiments, benchmarks and modes
     repro table1                         # render one experiment
     repro fig6 --benchmarks bsw pr --accesses 20000
     repro all --out results/ --jobs 4    # render everything, in parallel
     repro bench --jobs 4                 # run the quick suite, print summary
+    repro bench --modes Toleo CIF-Tree   # restrict the simulated modes
     repro bench --no-cache               # force re-simulation
+    repro sweep --param options.memory_level_parallelism=1,4,8 \
+                --param scale=0.001,0.002 --jobs 4
 
 Each experiment name maps to the corresponding module in
 :mod:`repro.experiments`; rendering uses the same code paths as the pytest
@@ -15,7 +18,9 @@ benchmark harness, just with user-selectable benchmark subsets and trace
 lengths.  ``--jobs N`` fans the independent (benchmark, mode) simulations
 over N worker processes (0 = one per CPU); results are bit-identical to a
 serial run.  Completed runs persist in ``.repro_cache/`` and are reused
-across invocations unless ``--no-cache`` is given.
+across invocations unless ``--no-cache`` is given.  ``sweep`` expands
+``--param key=v1,v2,...`` axes into a cartesian grid and runs every point
+through the same parallel fan-out and persistent store.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ import argparse
 import os
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import (
     fig6,
@@ -34,6 +39,7 @@ from repro.experiments import (
     fig10,
     fig11,
     fig12,
+    freshness_scaling,
     harness,
     security62,
     table1,
@@ -47,7 +53,16 @@ from repro.experiments.harness import (
     run_benchmarks,
 )
 from repro.experiments.report import format_table
-from repro.workloads.registry import UnknownBenchmarkError
+from repro.sim.configs import (
+    EVALUATED_MODES,
+    ProtectionMode,
+    UnknownModeError,
+    mode_parameters,
+    registered_modes,
+    resolve_mode,
+)
+from repro.sim.sweep import SweepAxisError, parse_axis, run_sweep
+from repro.workloads.registry import BENCHMARKS, UnknownBenchmarkError
 
 
 def _simple(render: Callable[[], str]) -> Callable[..., str]:
@@ -90,6 +105,9 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "fig12": lambda benchmarks, scale, num_accesses: fig12.render(
         benchmarks, scale=scale, num_accesses=num_accesses
     ),
+    "fresh-scale": lambda benchmarks, scale, num_accesses: freshness_scaling.render(
+        benchmarks, scale=scale, num_accesses=num_accesses
+    ),
     "sec62": _simple(security62.render),
 }
 
@@ -101,9 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "bench", "list"],
+        choices=sorted(EXPERIMENTS) + ["all", "bench", "sweep", "list"],
         help="experiment to render, 'bench' for a raw benchmark-suite run, "
-        "'all' for every experiment, or 'list'",
+        "'sweep' for a parameter-grid run, 'all' for every experiment, or "
+        "'list' for the available experiments, benchmarks and modes",
     )
     parser.add_argument(
         "--benchmarks",
@@ -112,6 +131,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="benchmark subset (default: a quick representative subset; "
         "use --full for all twelve)",
+    )
+    parser.add_argument(
+        "--modes",
+        nargs="+",
+        default=None,
+        metavar="MODE",
+        help="protection modes for bench/sweep runs, by paper label "
+        "(e.g. CI Toleo CIF-Tree Client-SGX); default: the Figure 6 set",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="KEY=V1,V2,...",
+        help="sweep axis (repeatable): scale, accesses, seed, "
+        "options.<field> or config.<field>",
     )
     parser.add_argument(
         "--full", action="store_true", help="run all twelve paper benchmarks"
@@ -138,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the persistent result store (.repro_cache/)",
     )
     parser.add_argument(
-        "--seed", type=int, default=1234, help="trace RNG seed (bench only)"
+        "--seed", type=int, default=1234, help="trace RNG seed (bench/sweep only)"
     )
     return parser
 
@@ -151,6 +186,33 @@ def _resolve_benchmarks(args: argparse.Namespace) -> Sequence[str]:
     return QUICK_BENCHMARKS
 
 
+def _resolve_modes(args: argparse.Namespace) -> Tuple[ProtectionMode, ...]:
+    """Map ``--modes`` labels to registry entries (UnknownModeError on typos)."""
+    if not args.modes:
+        return EVALUATED_MODES
+    return tuple(resolve_mode(name) for name in args.modes)
+
+
+def run_list() -> str:
+    """Everything the CLI can run: experiments, benchmarks and modes."""
+    lines: List[str] = ["experiments:"]
+    for name in sorted(EXPERIMENTS) + ["bench", "sweep"]:
+        lines.append(f"  {name}")
+    lines.append("")
+    lines.append("benchmarks (--benchmarks):")
+    for name, info in BENCHMARKS.items():
+        lines.append(
+            f"  {name:<12} {info.suite}/{info.category}, "
+            f"RSS {info.rss_gb:.1f} GB, LLC MPKI {info.llc_mpki:.2f}"
+        )
+    lines.append("")
+    lines.append("protection modes (--modes):")
+    for mode in registered_modes():
+        params = mode_parameters(mode)
+        lines.append(f"  {mode.value:<12} {params.description}")
+    return "\n".join(lines) + "\n"
+
+
 def run_bench(args: argparse.Namespace) -> str:
     """Run the benchmark suite and render a per-(benchmark, mode) summary.
 
@@ -159,9 +221,11 @@ def run_bench(args: argparse.Namespace) -> str:
     cache telemetry so speedups (``--jobs``) and store hits are visible.
     """
     benchmarks = _resolve_benchmarks(args)
+    modes = _resolve_modes(args)
     started = time.perf_counter()
     suite = run_benchmarks(
         benchmarks,
+        modes=modes,
         scale=args.scale,
         num_accesses=args.accesses,
         seed=args.seed,
@@ -177,10 +241,59 @@ def run_bench(args: argparse.Namespace) -> str:
             row[mode.value] = f"{per_mode[mode].slowdown:.3f}x"
         rows.append(row)
     table = format_table(rows, title="Benchmark suite: slowdown vs NoProtect")
-    modes = next(iter(suite.values()), {})
+    suite_modes = next(iter(suite.values()), {})
     footer = (
-        f"\n{len(suite)} benchmarks x {len(modes)} modes, "
+        f"\n{len(suite)} benchmarks x {len(suite_modes)} modes, "
         f"{args.accesses} accesses @ scale {args.scale}, seed {args.seed}\n"
+        f"wall time {elapsed:.2f}s (jobs={args.jobs}, "
+        f"cache={'off' if args.no_cache else 'on'})\n"
+    )
+    return table + footer
+
+
+def run_sweep_command(args: argparse.Namespace) -> str:
+    """Expand the ``--param`` axes into a grid and run every point."""
+    if not args.param:
+        raise SweepAxisError(
+            "sweep needs at least one --param axis, "
+            "e.g. --param options.memory_level_parallelism=1,4,8"
+        )
+    axes = [parse_axis(spec) for spec in args.param]
+    benchmarks = _resolve_benchmarks(args)
+    modes = _resolve_modes(args)
+
+    started = time.perf_counter()
+    result = run_sweep(
+        axes,
+        benchmarks=benchmarks,
+        modes=modes,
+        scale=args.scale,
+        num_accesses=args.accesses,
+        seed=args.seed,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+    )
+    elapsed = time.perf_counter() - started
+
+    protected = [m for m in result.modes if m is not ProtectionMode.NOPROTECT]
+    rows: List[Dict[str, object]] = []
+    for point, suite in result:
+        for bench, per_mode in suite.items():
+            row: Dict[str, object] = {"point": point.label, "bench": bench}
+            for mode in protected:
+                if mode in per_mode:
+                    row[mode.value] = f"{per_mode[mode].slowdown:.3f}x"
+            rows.append(row)
+    table = format_table(
+        rows,
+        columns=["point", "bench"] + [m.value for m in protected],
+        title="Parameter sweep: slowdown vs NoProtect",
+    )
+    cached_points = len(result.points) - result.simulated_points
+    footer = (
+        f"\n{len(result.points)} grid points x {len(result.benchmarks)} benchmarks "
+        f"x {len(result.modes)} modes ({result.simulated_points} simulated, "
+        f"{cached_points} from store)\n"
         f"wall time {elapsed:.2f}s (jobs={args.jobs}, "
         f"cache={'off' if args.no_cache else 'on'})\n"
     )
@@ -192,14 +305,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        for name in sorted(EXPERIMENTS) + ["bench"]:
-            print(name)
+        print(run_list())
         return 0
 
-    if args.experiment == "bench":
+    if args.experiment in ("bench", "sweep"):
+        runner = run_bench if args.experiment == "bench" else run_sweep_command
         try:
-            print(run_bench(args))
-        except UnknownBenchmarkError as error:
+            print(runner(args))
+        except (UnknownBenchmarkError, UnknownModeError, SweepAxisError) as error:
             print(f"error: {error.args[0]}", file=sys.stderr)
             return 2
         return 0
@@ -223,7 +336,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"wrote {path}")
             else:
                 print(text)
-    except UnknownBenchmarkError as error:
+    except (UnknownBenchmarkError, UnknownModeError) as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
     finally:

@@ -1,0 +1,118 @@
+"""Freshness-scheme scaling: Toleo versus the simulated tree baselines.
+
+The paper's core argument (Section 1, Table 4) is that tree-based freshness
+-- counter trees in Client SGX, VAULT, MorphCtr -- cannot scale: the tree
+deepens with the protected footprint, so every miss pays more traversal
+traffic and latency, while Toleo's stealth-version lookup stays one hop over
+CXL IDE no matter how large the pool grows.  The seed repo could only state
+that argument as static tables; with the counter-tree and Client-SGX modes
+wired into the simulator, this experiment *measures* it: one sweep over the
+footprint ``scale`` axis, reporting each freshness scheme's slowdown next to
+the counter tree's depth at that footprint.
+
+Expected shape: the ``CIF-Tree`` column grows with footprint (tracking the
+``tree levels`` column) and ``Client-SGX`` collapses once the working set
+leaves the EPC, while ``Toleo`` stays near-flat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.counter_trees import client_sgx_tree
+from repro.experiments import harness
+from repro.experiments.report import format_table
+from repro.sim.configs import FRESHNESS_MODES, ProtectionMode
+from repro.sim.sweep import SweepAxis, run_sweep
+from repro.workloads.registry import get_workload
+
+#: Footprint multipliers applied to the base scale (one sweep axis point each).
+SCALE_MULTIPLIERS = (0.25, 1.0, 4.0)
+
+#: The schemes compared (NoProtect provides the slowdown baseline).
+SCHEME_MODES = tuple(m for m in FRESHNESS_MODES if m is not ProtectionMode.NOPROTECT)
+
+
+def sweep_scales(scale: float) -> Tuple[float, ...]:
+    return tuple(scale * multiplier for multiplier in SCALE_MULTIPLIERS)
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.002,
+    num_accesses: int = 60_000,
+) -> List[Dict[str, object]]:
+    """One row per (benchmark, footprint point) with per-scheme slowdowns."""
+    names = tuple(benchmarks) if benchmarks is not None else harness.QUICK_BENCHMARKS
+    defaults = harness.execution_defaults()
+    result = run_sweep(
+        [SweepAxis("scale", sweep_scales(scale))],
+        benchmarks=names,
+        modes=FRESHNESS_MODES,
+        scale=scale,
+        num_accesses=num_accesses,
+        jobs=defaults["jobs"],
+        use_cache=defaults["use_cache"],
+    )
+    tree = client_sgx_tree()
+    rows: List[Dict[str, object]] = []
+    for point, suite in result:
+        for bench, per_mode in suite.items():
+            footprint = get_workload(bench, scale=point.scale).footprint_bytes
+            row: Dict[str, object] = {
+                "bench": bench,
+                "scale": round(point.scale, 6),
+                "footprint_mib": round(footprint / (1 << 20), 1),
+                "tree_levels": tree.levels(footprint),
+            }
+            for mode in SCHEME_MODES:
+                if mode in per_mode:
+                    row[mode.value] = round(per_mode[mode].slowdown, 3)
+            rows.append(row)
+    return rows
+
+
+def tree_growth(rows: List[Dict[str, object]]) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark slowdown growth (largest minus smallest footprint).
+
+    The headline comparison: ``CIF-Tree`` growth should exceed ``Toleo``
+    growth on every benchmark -- trees deepen, stealth versions do not.
+    """
+    by_bench: Dict[str, List[Dict[str, object]]] = {}
+    for row in rows:
+        by_bench.setdefault(str(row["bench"]), []).append(row)
+    out: Dict[str, Dict[str, float]] = {}
+    for bench, bench_rows in by_bench.items():
+        ordered = sorted(bench_rows, key=lambda r: float(r["scale"]))
+        first, last = ordered[0], ordered[-1]
+        out[bench] = {
+            mode.value: round(
+                float(last[mode.value]) - float(first[mode.value]), 4
+            )
+            for mode in SCHEME_MODES
+            if mode.value in first and mode.value in last
+        }
+    return out
+
+
+def render(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.002,
+    num_accesses: int = 60_000,
+) -> str:
+    rows = run(benchmarks, scale=scale, num_accesses=num_accesses)
+    table = format_table(
+        rows,
+        columns=["bench", "scale", "footprint_mib", "tree_levels"]
+        + [mode.value for mode in SCHEME_MODES],
+        title="Freshness scaling: slowdown vs footprint (Toleo vs tree-based)",
+    )
+    growth = tree_growth(rows)
+    lines = ["", "slowdown growth, smallest -> largest footprint:"]
+    for bench, deltas in growth.items():
+        parts = ", ".join(f"{name} {delta:+.3f}" for name, delta in deltas.items())
+        lines.append(f"  {bench}: {parts}")
+    return table + "\n".join(lines) + "\n"
+
+
+__all__ = ["run", "render", "tree_growth", "sweep_scales", "SCHEME_MODES", "SCALE_MULTIPLIERS"]

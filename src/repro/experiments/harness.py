@@ -32,11 +32,14 @@ from repro.core.trip import TripFormat
 from repro.sim.configs import EVALUATED_MODES, ProtectionMode
 from repro.sim.engine import EngineOptions, run_suite
 from repro.sim.parallel import parallel_map, run_suite_parallel
-from repro.sim.results import SimulationResult
+from repro.sim.results import (
+    SuiteResults,
+    decode_suite,
+    encode_suite,
+    suite_key,
+)
 from repro.sim.store import ResultStore, content_key, default_store
 from repro.workloads.registry import WORKLOAD_NAMES
-
-SuiteResults = Dict[str, Dict[ProtectionMode, SimulationResult]]
 
 #: All twelve paper benchmarks.
 DEFAULT_BENCHMARKS: Tuple[str, ...] = tuple(WORKLOAD_NAMES)
@@ -63,49 +66,23 @@ def configure(
     return previous
 
 
+def execution_defaults() -> Dict[str, Any]:
+    """Snapshot of the process-wide execution defaults (``jobs``,
+    ``use_cache``) -- for experiment modules that drive runners other than
+    :func:`run_benchmarks` (e.g. the sweep-backed figures)."""
+    return {"jobs": int(_EXECUTION_DEFAULTS["jobs"]),
+            "use_cache": bool(_EXECUTION_DEFAULTS["use_cache"])}
+
+
 # ---------------------------------------------------------------------------
 # Suite results (Figures 6-9, Tables 2/4)
 # ---------------------------------------------------------------------------
 
-def _encode_suite(suite: SuiteResults) -> Dict[str, Dict[str, Any]]:
-    return {
-        name: {mode.value: result.to_dict() for mode, result in per_mode.items()}
-        for name, per_mode in suite.items()
-    }
-
-
-def _decode_suite(payload: Dict[str, Dict[str, Any]]) -> SuiteResults:
-    return {
-        name: {
-            ProtectionMode(mode): SimulationResult.from_dict(result)
-            for mode, result in per_mode.items()
-        }
-        for name, per_mode in payload.items()
-    }
-
-
-def suite_key(
-    names: Sequence[str],
-    modes: Sequence[ProtectionMode],
-    scale: float,
-    num_accesses: int,
-    seed: int,
-    config: Optional[SystemConfig],
-    options: Optional[EngineOptions],
-) -> str:
-    """Content hash of a suite run; includes config/options (the old dict
-    cache omitted them, so e.g. a down-scaled Redis config could be handed
-    the default config's results)."""
-    return content_key(
-        "suite",
-        benchmarks=list(names),
-        modes=[mode.value for mode in modes],
-        scale=scale,
-        num_accesses=num_accesses,
-        seed=seed,
-        config=config,
-        options=options,
-    )
+# The suite encode/decode helpers and the content key now live in
+# ``repro.sim.results`` so the sweep runner shares them (and the store
+# entries they produce); re-exported here for compatibility.
+_encode_suite = encode_suite
+_decode_suite = decode_suite
 
 
 def run_benchmarks(
@@ -332,6 +309,7 @@ __all__ = [
     "run_space_study",
     "clear_cache",
     "configure",
+    "execution_defaults",
     "suite_key",
     "SuiteResults",
     "SpaceStudyResult",

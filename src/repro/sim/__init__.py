@@ -1,17 +1,39 @@
-"""Trace-driven performance simulator for the four evaluated configurations."""
+"""Trace-driven performance simulator and the protection-mode registry."""
 
-from repro.sim.configs import ProtectionMode, ModeParameters, MODE_PARAMETERS
-from repro.sim.results import SimulationResult, LatencyBreakdown, TrafficBreakdown
+from repro.sim.configs import (
+    MODE_PARAMETERS,
+    ModeParameters,
+    ProtectionMode,
+    UnknownModeError,
+    mode_parameters,
+    register_mode,
+    registered_modes,
+    resolve_mode,
+)
 from repro.sim.engine import SimulationEngine, compare_modes, run_suite
+from repro.sim.path import AccessContext, PathComponent, build_components
+from repro.sim.results import LatencyBreakdown, SimulationResult, TrafficBreakdown
+from repro.sim.sweep import SweepAxis, SweepResult, run_sweep
 
 __all__ = [
     "ProtectionMode",
     "ModeParameters",
     "MODE_PARAMETERS",
+    "UnknownModeError",
+    "mode_parameters",
+    "register_mode",
+    "registered_modes",
+    "resolve_mode",
     "SimulationResult",
     "LatencyBreakdown",
     "TrafficBreakdown",
     "SimulationEngine",
     "compare_modes",
     "run_suite",
+    "AccessContext",
+    "PathComponent",
+    "build_components",
+    "SweepAxis",
+    "SweepResult",
+    "run_sweep",
 ]

@@ -1,4 +1,6 @@
-"""The four evaluated protection configurations (Section 7).
+"""Protection configurations and the open mode registry.
+
+The paper evaluates four configurations (Section 7):
 
 * ``NOPROTECT`` -- no memory protection; the baseline all overheads are
   reported against.
@@ -10,15 +12,33 @@
   encryption, symmetric packets and dummy traffic.
 
 ``C`` (encryption only) is also provided because Figure 9's latency breakdown
-separates the C and I components.
+separates the C and I components, and two *simulated baseline* modes wire the
+previously table-only models from :mod:`repro.baselines` into the simulator:
+
+* ``CIF_TREE`` -- CI plus counter-tree freshness: every miss walks the
+  :class:`repro.baselines.counter_trees.CounterTreeModel` levels through a
+  metadata cache, so the cost grows with tree depth (i.e. with footprint) --
+  the scaling argument the introduction makes against Merkle/counter trees.
+* ``CLIENT_SGX`` -- Client SGX's enclave page cache: full CIF inside a small
+  EPC (its own shallow counter tree) plus page faults whenever the working
+  set spills out of it.
+
+A mode is *described* declaratively by :class:`ModeParameters`; the
+simulation engine builds the matching protection-path component stack from it
+(:func:`repro.sim.path.build_components`).  The registry is open: register a
+new ``ModeParameters`` and the engine, harness, persistent store, sweep
+runner and CLI all pick the mode up without modification.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.baselines.invisimem import InvisiMemModel
+from repro.baselines.sgx import ClientSgxModel
+from repro.core.config import GIB, KIB
 
 
 class ProtectionMode(enum.Enum):
@@ -29,6 +49,8 @@ class ProtectionMode(enum.Enum):
     CI = "CI"
     TOLEO = "Toleo"
     INVISIMEM = "InvisiMem"
+    CIF_TREE = "CIF-Tree"
+    CLIENT_SGX = "Client-SGX"
 
     @property
     def encrypts(self) -> bool:
@@ -36,11 +58,22 @@ class ProtectionMode(enum.Enum):
 
     @property
     def has_integrity(self) -> bool:
-        return self in (ProtectionMode.CI, ProtectionMode.TOLEO, ProtectionMode.INVISIMEM)
+        return self in (
+            ProtectionMode.CI,
+            ProtectionMode.TOLEO,
+            ProtectionMode.INVISIMEM,
+            ProtectionMode.CIF_TREE,
+            ProtectionMode.CLIENT_SGX,
+        )
 
     @property
     def has_freshness(self) -> bool:
-        return self in (ProtectionMode.TOLEO, ProtectionMode.INVISIMEM)
+        return self in (
+            ProtectionMode.TOLEO,
+            ProtectionMode.INVISIMEM,
+            ProtectionMode.CIF_TREE,
+            ProtectionMode.CLIENT_SGX,
+        )
 
     @property
     def uses_toleo_device(self) -> bool:
@@ -51,38 +84,187 @@ class ProtectionMode(enum.Enum):
         return self is ProtectionMode.INVISIMEM
 
 
+class UnknownModeError(KeyError):
+    """Raised for a protection-mode name not in the registry (a user-input
+    error, so CLIs can catch it narrowly -- mirrors ``UnknownBenchmarkError``)."""
+
+    def __init__(self, name: str) -> None:
+        available = ", ".join(mode.value for mode in registered_modes())
+        super().__init__(f"unknown protection mode {name!r}; available: {available}")
+
+
+@dataclass(frozen=True)
+class CounterTreeSpec:
+    """Parameters of a simulated counter-tree freshness path.
+
+    ``scheme`` picks the tree geometry from
+    :mod:`repro.baselines.counter_trees` (``client_sgx``, ``vault`` or
+    ``morphctr``); the metadata cache holds recently verified tree nodes so a
+    traversal stops at the first cached ancestor.
+    """
+
+    scheme: str = "client_sgx"
+    cache_bytes: int = 256 * KIB
+    cache_ways: int = 16
+
+    @property
+    def label(self) -> str:
+        return self.scheme
+
+
+#: Reference Client SGX model (baselines layer); the simulated mode's spec
+#: derives its defaults from it so the static tables and the simulation can
+#: never silently disagree on the EPC constants.
+_CLIENT_SGX_REFERENCE = ClientSgxModel()
+
+#: Typical paper-benchmark resident set size (Table 2 averages ~12 GB); with
+#: the reference 128 MB EPC this fixes the EPC : footprint provisioning ratio.
+_REFERENCE_RSS_BYTES = 12 * GIB
+
+
+@dataclass(frozen=True)
+class EpcPagingSpec:
+    """Parameters of the Client SGX enclave-page-cache cost model.
+
+    The EPC is provisioned as a fraction of the workload footprint so the
+    down-scaled simulation preserves the paper's 128 MB EPC : ~12 GB RSS
+    ratio; touches outside the resident set page-fault with
+    ``page_fault_penalty_ns`` (the paper cites ~5x slowdowns from EPC paging).
+    Defaults come from :class:`repro.baselines.sgx.ClientSgxModel`.
+    """
+
+    epc_fraction: float = _CLIENT_SGX_REFERENCE.epc_bytes / _REFERENCE_RSS_BYTES
+    min_epc_pages: int = 32
+    page_fault_penalty_ns: float = _CLIENT_SGX_REFERENCE.page_fault_penalty_us * 1000.0
+
+
 @dataclass(frozen=True)
 class ModeParameters:
-    """Per-mode cost-model parameters applied by the simulation engine."""
+    """Declarative description of one protection mode's component stack."""
 
     mode: ProtectionMode
     aes_on_read: bool = False
     mac_traffic: bool = False
     stealth_traffic: bool = False
     invisimem: InvisiMemModel | None = None
+    counter_tree: CounterTreeSpec | None = None
+    epc_paging: EpcPagingSpec | None = None
+    description: str = ""
 
     @property
     def label(self) -> str:
         return self.mode.value
 
 
-MODE_PARAMETERS = {
-    ProtectionMode.NOPROTECT: ModeParameters(ProtectionMode.NOPROTECT),
-    ProtectionMode.C: ModeParameters(ProtectionMode.C, aes_on_read=True),
-    ProtectionMode.CI: ModeParameters(
-        ProtectionMode.CI, aes_on_read=True, mac_traffic=True
-    ),
-    ProtectionMode.TOLEO: ModeParameters(
-        ProtectionMode.TOLEO, aes_on_read=True, mac_traffic=True, stealth_traffic=True
-    ),
-    ProtectionMode.INVISIMEM: ModeParameters(
+# ---------------------------------------------------------------------------
+# The mode registry
+# ---------------------------------------------------------------------------
+
+#: Mode -> parameters.  Open: ``register_mode`` adds entries; the historical
+#: ``MODE_PARAMETERS`` name is kept as the live registry mapping.
+MODE_PARAMETERS: Dict[ProtectionMode, ModeParameters] = {}
+
+
+def register_mode(params: ModeParameters, replace: bool = False) -> ModeParameters:
+    """Register a protection mode's parameters with the simulator.
+
+    Everything downstream -- the engine, the experiment harness, the sweep
+    runner, the persistent store keys and the CLI's ``--modes`` filter --
+    resolves modes through this registry, so registering is all a new scheme
+    needs to become simulatable.
+    """
+    if params.mode in MODE_PARAMETERS and not replace:
+        raise ValueError(f"mode {params.mode.value!r} is already registered")
+    MODE_PARAMETERS[params.mode] = params
+    return params
+
+
+def mode_parameters(mode: ProtectionMode) -> ModeParameters:
+    """Look up a registered mode's parameters."""
+    try:
+        return MODE_PARAMETERS[mode]
+    except KeyError:
+        raise UnknownModeError(mode.value) from None
+
+
+def registered_modes() -> Tuple[ProtectionMode, ...]:
+    """Every registered mode, in registration order."""
+    return tuple(MODE_PARAMETERS)
+
+
+def resolve_mode(name: str) -> ProtectionMode:
+    """Resolve a user-supplied mode name (case-insensitive on the paper label).
+
+    Raises :class:`UnknownModeError` for names outside the registry, so CLIs
+    can report a clean error instead of a traceback.
+    """
+    wanted = name.strip().lower()
+    for mode in registered_modes():
+        if mode.value.lower() == wanted or mode.name.lower() == wanted:
+            return mode
+    raise UnknownModeError(name)
+
+
+register_mode(
+    ModeParameters(
+        ProtectionMode.NOPROTECT,
+        description="no memory protection; the overhead baseline",
+    )
+)
+register_mode(
+    ModeParameters(
+        ProtectionMode.C,
+        aes_on_read=True,
+        description="confidentiality only (AES-XTS decryption latency)",
+    )
+)
+register_mode(
+    ModeParameters(
+        ProtectionMode.CI,
+        aes_on_read=True,
+        mac_traffic=True,
+        description="confidentiality + integrity (MAC cache and MAC+UV traffic)",
+    )
+)
+register_mode(
+    ModeParameters(
+        ProtectionMode.TOLEO,
+        aes_on_read=True,
+        mac_traffic=True,
+        stealth_traffic=True,
+        description="CI + freshness via the CXL-attached Toleo stealth-version device",
+    )
+)
+register_mode(
+    ModeParameters(
         ProtectionMode.INVISIMEM,
         aes_on_read=True,
         mac_traffic=True,
         stealth_traffic=False,
         invisimem=InvisiMemModel(),
-    ),
-}
+        description="InvisiMem-far smart memory: CIF + side channels, inflated packets",
+    )
+)
+register_mode(
+    ModeParameters(
+        ProtectionMode.CIF_TREE,
+        aes_on_read=True,
+        mac_traffic=True,
+        counter_tree=CounterTreeSpec(),
+        description="CI + counter-tree freshness; traversal cost grows with footprint",
+    )
+)
+register_mode(
+    ModeParameters(
+        ProtectionMode.CLIENT_SGX,
+        aes_on_read=True,
+        mac_traffic=True,
+        counter_tree=CounterTreeSpec(cache_bytes=64 * KIB),
+        epc_paging=EpcPagingSpec(),
+        description="Client SGX: CIF inside a small EPC, page faults beyond it",
+    )
+)
+
 
 #: The configurations compared in Figure 6 and Figure 8.
 EVALUATED_MODES = (
@@ -101,10 +283,26 @@ LATENCY_MODES = (
     ProtectionMode.INVISIMEM,
 )
 
+#: Freshness-scheme comparison: Toleo versus the simulated tree baselines.
+FRESHNESS_MODES = (
+    ProtectionMode.NOPROTECT,
+    ProtectionMode.TOLEO,
+    ProtectionMode.CIF_TREE,
+    ProtectionMode.CLIENT_SGX,
+)
+
 __all__ = [
     "ProtectionMode",
     "ModeParameters",
+    "CounterTreeSpec",
+    "EpcPagingSpec",
+    "UnknownModeError",
     "MODE_PARAMETERS",
+    "register_mode",
+    "mode_parameters",
+    "registered_modes",
+    "resolve_mode",
     "EVALUATED_MODES",
     "LATENCY_MODES",
+    "FRESHNESS_MODES",
 ]

@@ -1,21 +1,26 @@
 """The trace-driven simulation engine.
 
 The engine replays a workload's memory-access trace through the on-chip data
-hierarchy; every LLC miss and dirty writeback then pays the memory-system and
-protection costs of the selected configuration:
+hierarchy; every LLC miss and dirty writeback then pays the memory-system
+cost of the data fetch plus whatever the selected mode's protection-path
+components charge (:mod:`repro.sim.path`):
 
-* a data access to local DRAM or the CXL pool,
 * AES decryption latency (C and above),
 * a MAC(+UV) block fetch when the MAC cache misses (CI and above),
 * a stealth-version fetch from Toleo over CXL IDE when both stealth caches
-  miss (Toleo), and
+  miss (Toleo),
+* a counter-tree walk through the metadata cache (CIF-Tree, Client-SGX),
+* EPC page faults for working sets beyond the enclave page cache
+  (Client-SGX), and
 * packet inflation, dummy traffic and double-encryption latency (InvisiMem).
 
-Execution time combines a fixed-CPI compute component with read-stall time
-(overlapped by a memory-level-parallelism factor) and a bandwidth-saturation
-term, which is what makes bandwidth-hungry workloads (pr, bfs, llama2-gen)
-pay more for the CI metadata traffic than compute-bound ones -- the shape of
-Figure 6.
+The engine itself is a thin driver: it owns the cache hierarchy, the rack
+memory and the replay loop, and dispatches each LLC miss / writeback to the
+component stack built from the mode's registered parameters.  Execution time
+combines a fixed-CPI compute component with read-stall time (overlapped by a
+memory-level-parallelism factor) and a bandwidth-saturation term, which is
+what makes bandwidth-hungry workloads (pr, bfs, llama2-gen) pay more for the
+CI metadata traffic than compute-bound ones -- the shape of Figure 6.
 """
 
 from __future__ import annotations
@@ -24,20 +29,15 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.cache.hierarchy import CacheHierarchy
-from repro.cache.mac_cache import MacCache
 from repro.core.config import CACHE_BLOCK_BYTES, SystemConfig
-from repro.core.toleo import ToleoDevice
-from repro.core.trip import TripFormat
-from repro.core.version_cache import StealthVersionCache
-from repro.crypto.rng import DRangeRng
-from repro.memory.address import block_index_in_page, page_number
 from repro.memory.devices import RackMemory
 from repro.sim.configs import (
     EVALUATED_MODES,
-    MODE_PARAMETERS,
     ModeParameters,
     ProtectionMode,
+    mode_parameters,
 )
+from repro.sim.path import AccessContext, PathComponent, build_components
 from repro.sim.results import LatencyBreakdown, SimulationResult, TrafficBreakdown
 from repro.workloads.base import Trace, Workload
 
@@ -83,7 +83,7 @@ class SimulationEngine:
         options: Optional[EngineOptions] = None,
         seed: int = 0,
     ) -> "SimulationEngine":
-        return cls(MODE_PARAMETERS[mode], config=config, options=options, seed=seed)
+        return cls(mode_parameters(mode), config=config, options=options, seed=seed)
 
     # ------------------------------------------------------------------
     # Main entry point
@@ -97,111 +97,95 @@ class SimulationEngine:
     ) -> SimulationResult:
         """Replay ``num_accesses`` of the workload (or captured trace)."""
         cfg = self.config
-        mode = self.params.mode
 
         hierarchy = CacheHierarchy(cfg)
         rack = RackMemory(cfg)
-        mac_cache = MacCache(config=cfg) if self.params.mac_traffic else None
-        toleo: Optional[ToleoDevice] = None
-        stealth_cache: Optional[StealthVersionCache] = None
-        if mode.uses_toleo_device:
-            toleo = ToleoDevice(
-                config=cfg.toleo.scaled(workload.footprint_bytes),
-                rng=DRangeRng(seed=self.seed),
-                strict_capacity=False,
-            )
-            stealth_cache = StealthVersionCache(config=cfg)
+        components = build_components(
+            self.params,
+            cfg,
+            self.options,
+            footprint_bytes=workload.footprint_bytes,
+            seed=self.seed,
+            num_accesses=num_accesses,
+        )
+        ctx = AccessContext(
+            rack=rack,
+            traffic=TrafficBreakdown(),
+            latency=LatencyBreakdown(),
+            config=cfg,
+            options=self.options,
+            footprint_bytes=workload.footprint_bytes,
+        )
 
-        traffic = TrafficBreakdown()
-        read_latency_sums = LatencyBreakdown()
+        # Dispatch lists: only components that override a hook are called in
+        # the replay loop, so a minimal mode pays for nothing it doesn't use.
+        per_access = [
+            c.on_access
+            for c in components
+            if type(c).on_access is not PathComponent.on_access
+        ]
+        on_read_miss = [
+            c.on_read_miss
+            for c in components
+            if type(c).on_read_miss is not PathComponent.on_read_miss
+        ]
+        on_writeback = [
+            c.on_writeback
+            for c in components
+            if type(c).on_writeback is not PathComponent.on_writeback
+        ]
+
+        traffic = ctx.traffic
+        latency_sums = ctx.latency
         llc_read_misses = 0
         writebacks = 0
-        timeline: List[Dict[str, int]] = []
-        sample_every = max(1, num_accesses // max(1, self.options.timeline_samples))
-
-        aes_latency_ns = cfg.aes_latency_cycles * cfg.cycle_ns
-        invisimem = self.params.invisimem
 
         for i, (address, is_write) in enumerate(workload.access_stream(num_accesses)):
             result = hierarchy.access(address, is_write)
-            if toleo is not None and i % sample_every == 0:
-                timeline.append(toleo.snapshot_usage())
+            if per_access:
+                ctx.index = i
+                for hook in per_access:
+                    hook(ctx)
             if not result.llc_miss:
                 continue
 
-            # ---- data fetch -------------------------------------------------
+            # ---- data fetch: common to every mode ---------------------------
+            ctx.address = address
+            ctx.is_write = is_write
             dram_ns = rack.access(address, CACHE_BLOCK_BYTES, is_write=False)
-            data_bytes = CACHE_BLOCK_BYTES
-            if invisimem is not None:
-                data_bytes = invisimem.packet_bytes(CACHE_BLOCK_BYTES)
-                traffic.dummy_bytes += int(
-                    invisimem.dummy_traffic_fraction * invisimem.packet_bytes()
-                )
-            traffic.data_bytes += data_bytes
-
+            traffic.data_bytes += CACHE_BLOCK_BYTES
             llc_read_misses += 1
-            read_latency_sums.dram_ns += dram_ns
+            latency_sums.dram_ns += dram_ns
 
-            # ---- confidentiality --------------------------------------------
-            if self.params.aes_on_read:
-                read_latency_sums.decryption_ns += aes_latency_ns
+            # ---- protection path -------------------------------------------
+            for hook in on_read_miss:
+                hook(ctx)
 
-            # ---- integrity ---------------------------------------------------
-            if mac_cache is not None:
-                hit = mac_cache.access(address, is_write=False)
-                if not hit:
-                    mac_bytes = CACHE_BLOCK_BYTES
-                    if invisimem is not None:
-                        mac_bytes = int(
-                            invisimem.metadata_bytes_per_access(CACHE_BLOCK_BYTES)
-                        )
-                    traffic.mac_uv_bytes += mac_bytes
-                    mac_latency = rack.access(address, mac_bytes, is_write=False)
-                    read_latency_sums.integrity_ns += (
-                        mac_latency * self.options.integrity_overlap
-                    )
-
-            # ---- freshness (Toleo) --------------------------------------------
-            if toleo is not None and stealth_cache is not None:
-                page = page_number(address)
-                block = block_index_in_page(address)
-                fmt = toleo.table.format_of(page) if page in toleo.table else TripFormat.FLAT
-                cache_access = stealth_cache.access(page, fmt, is_write=False)
-                if not cache_access.hit:
-                    response = toleo.read(page, block)
-                    traffic.stealth_bytes += response.bytes_transferred
-                    read_latency_sums.freshness_ns += response.latency_ns
-
-            # ---- InvisiMem side-channel defences --------------------------------
-            if invisimem is not None:
-                read_latency_sums.side_channel_ns += invisimem.added_latency_ns(
-                    self.options.invisimem_queueing_pressure
-                )
-
-            # ---- dirty writeback ---------------------------------------------------
+            # ---- dirty writeback -------------------------------------------
             if result.writeback_address is not None:
                 writebacks += 1
-                self._handle_writeback(
-                    result.writeback_address,
-                    rack,
-                    traffic,
-                    mac_cache,
-                    toleo,
-                    stealth_cache,
-                    invisimem,
-                )
+                ctx.address = result.writeback_address
+                ctx.is_write = True
+                rack.access(result.writeback_address, CACHE_BLOCK_BYTES, is_write=True)
+                traffic.data_bytes += CACHE_BLOCK_BYTES
+                for hook in on_writeback:
+                    hook(ctx)
 
         instructions = workload.instruction_count(
             num_accesses, llc_misses=hierarchy.l3.stats.misses
         )
-        execution_time_ns = self._execution_time_ns(
-            instructions, read_latency_sums, traffic
-        )
-        latency = self._average_latency(read_latency_sums, llc_read_misses)
+        execution_time_ns = self._execution_time_ns(instructions, latency_sums, traffic)
+        latency = self._average_latency(latency_sums, llc_read_misses)
 
-        result = SimulationResult(
+        # Telemetry fields contributed by components (MAC/stealth hit rates,
+        # Trip format mix, Toleo usage/timeline); defaults cover their absence.
+        measured: Dict[str, object] = {}
+        for component in components:
+            measured.update(component.telemetry())
+
+        return SimulationResult(
             workload=workload.name,
-            mode=mode,
+            mode=self.params.mode,
             instructions=instructions,
             accesses=num_accesses,
             llc_misses=hierarchy.l3.stats.misses,
@@ -209,68 +193,9 @@ class SimulationEngine:
             execution_time_ns=execution_time_ns,
             traffic=traffic,
             latency=latency,
-            stealth_cache_hit_rate=(
-                stealth_cache.hit_rate if stealth_cache is not None else 0.0
-            ),
-            mac_cache_hit_rate=(mac_cache.hit_rate if mac_cache is not None else 0.0),
-            trip_format_counts=(
-                toleo.table.format_counts() if toleo is not None else {}
-            ),
-            toleo_usage_bytes=(toleo.usage_breakdown() if toleo is not None else {}),
-            toleo_peak_bytes=(
-                toleo.stats.peak_dynamic_bytes + toleo.flat_bytes_used()
-                if toleo is not None
-                else 0
-            ),
-            toleo_usage_timeline=timeline,
             baseline_time_ns=baseline_time_ns,
+            **measured,
         )
-        return result
-
-    # ------------------------------------------------------------------
-    # Writeback path
-    # ------------------------------------------------------------------
-
-    def _handle_writeback(
-        self,
-        address: int,
-        rack: RackMemory,
-        traffic: TrafficBreakdown,
-        mac_cache: Optional[MacCache],
-        toleo: Optional[ToleoDevice],
-        stealth_cache: Optional[StealthVersionCache],
-        invisimem,
-    ) -> None:
-        rack.access(address, CACHE_BLOCK_BYTES, is_write=True)
-        data_bytes = CACHE_BLOCK_BYTES
-        if invisimem is not None:
-            data_bytes = invisimem.packet_bytes(CACHE_BLOCK_BYTES)
-            traffic.dummy_bytes += int(
-                invisimem.dummy_traffic_fraction * invisimem.packet_bytes()
-            )
-        traffic.data_bytes += data_bytes
-
-        if mac_cache is not None:
-            hit = mac_cache.access(address, is_write=True)
-            if not hit:
-                mac_bytes = CACHE_BLOCK_BYTES
-                if invisimem is not None:
-                    mac_bytes = int(invisimem.metadata_bytes_per_access(CACHE_BLOCK_BYTES))
-                traffic.mac_uv_bytes += mac_bytes
-                rack.access(address, mac_bytes, is_write=True)
-
-        if toleo is not None and stealth_cache is not None:
-            page = page_number(address)
-            block = block_index_in_page(address)
-            fmt = toleo.table.format_of(page) if page in toleo.table else TripFormat.FLAT
-            cache_access = stealth_cache.access(page, fmt, is_write=True)
-            response = toleo.update(page, block)
-            if not cache_access.hit:
-                traffic.stealth_bytes += response.bytes_transferred
-            new_fmt = toleo.table.format_of(page)
-            if new_fmt is not fmt:
-                # The entry changed representation; the cached copy is stale.
-                stealth_cache.invalidate(page)
 
     # ------------------------------------------------------------------
     # Analytical execution-time and latency models
@@ -289,7 +214,8 @@ class SimulationEngine:
         execution_ns = compute_ns + stall_ns
 
         bandwidth_gbps = cfg.local_dram_bandwidth_gbps + cfg.cxl_link_bandwidth_gbps
-        if self.params.mode is ProtectionMode.INVISIMEM:
+        if self.params.invisimem is not None:
+            # Smart-memory stacks serve the inflated traffic faster.
             bandwidth_gbps *= opts.invisimem_bandwidth_multiplier
         bytes_per_ns = bandwidth_gbps  # 1 GB/s == 1 byte/ns
         if bytes_per_ns > 0:
@@ -341,6 +267,11 @@ def compare_modes(
     workload regenerates the identical trace per mode (same seed), which is
     slower but produces bit-identical results -- the equivalence is pinned by
     the simulator tests.
+
+    ``NOPROTECT`` always *runs* first (it provides the baseline time every
+    other result's slowdown is reported against), but the returned dict
+    contains only the requested modes -- the baseline result no longer leaks
+    into callers that did not ask for it.
     """
     results: Dict[ProtectionMode, SimulationResult] = {}
     baseline_time: Optional[float] = None
@@ -349,6 +280,7 @@ def compare_modes(
     if reuse_trace:
         trace = workload_factory().capture(num_accesses)
 
+    requested = set(modes)
     for mode in ordered_modes(modes):
         engine = SimulationEngine.from_mode(mode, config=config, options=options, seed=seed)
         subject = trace if trace is not None else workload_factory()
@@ -358,7 +290,8 @@ def compare_modes(
         if mode is ProtectionMode.NOPROTECT:
             baseline_time = result.execution_time_ns
             result.baseline_time_ns = baseline_time
-        results[mode] = result
+        if mode in requested:
+            results[mode] = result
 
     # Fill in the baseline for modes that ran before it was known (defensive).
     for result in results.values():

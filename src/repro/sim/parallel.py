@@ -1,11 +1,11 @@
 """Parallel experiment orchestration over (benchmark, mode) pairs.
 
 Every (benchmark, protection-mode) simulation is independent: the engine
-builds its own cache hierarchy, Toleo device and RNGs from the run seed, and
-the only cross-mode coupling -- the NoProtect baseline time stitched into
-each result -- is a pure post-processing step.  That makes the suite
-embarrassingly parallel, and :func:`run_suite_parallel` fans the pairs out
-over a ``multiprocessing`` pool and then merges deterministically:
+builds its own cache hierarchy, protection-path components and RNGs from the
+run seed, and the only cross-mode coupling -- the NoProtect baseline time
+stitched into each result -- is a pure post-processing step.  That makes the
+suite embarrassingly parallel, and :func:`run_suite_parallel` fans the pairs
+out over a ``multiprocessing`` pool and then merges deterministically:
 
 * tasks are enumerated benchmark-major, mode-minor (the serial order), and
   results are reassembled into the same nested dict shape regardless of
@@ -16,6 +16,11 @@ over a ``multiprocessing`` pool and then merges deterministically:
 
 Workers memoise captured traces per process (`capture_trace`), so all modes
 of a benchmark that land on the same worker share one trace generation.
+
+The task/merge helpers (:func:`suite_tasks`, :func:`merge_suite_results`) are
+exposed separately so bulk runners -- the sweep subsystem in particular --
+can flatten *many* suites into one task list for a single pool, instead of
+paying pool startup per grid point.
 """
 
 from __future__ import annotations
@@ -25,14 +30,23 @@ import os
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
-from repro.sim.configs import EVALUATED_MODES, ProtectionMode
+from repro.sim.configs import (
+    EVALUATED_MODES,
+    ModeParameters,
+    ProtectionMode,
+    mode_parameters,
+)
 from repro.sim.engine import EngineOptions, SimulationEngine, ordered_modes
 from repro.sim.results import SimulationResult
 
 SuiteResults = Dict[str, Dict[ProtectionMode, SimulationResult]]
 
-#: One unit of work: everything a worker needs to run one simulation.
-SuiteTask = Tuple[str, ProtectionMode, float, int, int, Optional[SystemConfig], Optional[EngineOptions]]
+#: One unit of work: everything a worker needs to run one simulation.  The
+#: mode's *resolved* ModeParameters travel with the task (not just the enum)
+#: so runtime registry customisations in the parent process reach workers
+#: even under the spawn start method, where workers re-import the package
+#: and would otherwise resolve modes against a fresh default registry.
+SuiteTask = Tuple[str, ModeParameters, float, int, int, Optional[SystemConfig], Optional[EngineOptions]]
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -68,10 +82,58 @@ def _run_suite_task(task: SuiteTask) -> SimulationResult:
     """Worker body: simulate one (benchmark, mode) pair from its trace."""
     from repro.workloads.registry import capture_trace
 
-    name, mode, scale, num_accesses, seed, config, options = task
+    name, params, scale, num_accesses, seed, config, options = task
     trace = capture_trace(name, scale=scale, seed=seed, num_accesses=num_accesses)
-    engine = SimulationEngine.from_mode(mode, config=config, options=options, seed=seed)
+    engine = SimulationEngine(params, config=config, options=options, seed=seed)
     return engine.run(trace, num_accesses=num_accesses)
+
+
+def suite_tasks(
+    names: Sequence[str],
+    modes: Sequence[ProtectionMode],
+    scale: float,
+    num_accesses: int,
+    seed: int,
+    config: Optional[SystemConfig] = None,
+    options: Optional[EngineOptions] = None,
+) -> List[SuiteTask]:
+    """Enumerate one suite's tasks benchmark-major, mode-minor (serial order).
+
+    ``NOPROTECT`` is always included (first) even when not requested -- it
+    provides the baseline time the merge stitches into every result.
+    """
+    return [
+        (name, mode_parameters(mode), scale, num_accesses, seed, config, options)
+        for name in names
+        for mode in ordered_modes(modes)
+    ]
+
+
+def merge_suite_results(
+    tasks: Sequence[SuiteTask],
+    results: Sequence[SimulationResult],
+    requested_modes: Sequence[ProtectionMode],
+) -> SuiteResults:
+    """Reassemble task-ordered results into the serial driver's suite shape.
+
+    Stitches the per-benchmark NoProtect baseline into every result, then
+    returns only the requested modes -- exactly as the serial
+    :func:`repro.sim.engine.compare_modes` does.
+    """
+    complete: SuiteResults = {}
+    for (name, params, *_), result in zip(tasks, results):
+        complete.setdefault(name, {})[params.mode] = result
+
+    requested = set(requested_modes)
+    suite: SuiteResults = {}
+    for name, per_mode in complete.items():
+        baseline = per_mode[ProtectionMode.NOPROTECT].execution_time_ns
+        for result in per_mode.values():
+            result.baseline_time_ns = baseline
+        suite[name] = {
+            mode: result for mode, result in per_mode.items() if mode in requested
+        }
+    return suite
 
 
 def run_suite_parallel(
@@ -91,30 +153,17 @@ def run_suite_parallel(
     simulations spread over ``jobs`` worker processes.
     """
     names = list(benchmark_names)
-    mode_order = ordered_modes(modes)
-    tasks: List[SuiteTask] = [
-        (name, mode, scale, num_accesses, seed, config, options)
-        for name in names
-        for mode in mode_order
-    ]
+    tasks = suite_tasks(names, modes, scale, num_accesses, seed, config, options)
     results = parallel_map(_run_suite_task, tasks, jobs=jobs)
-
-    suite: SuiteResults = {name: {} for name in names}
-    for (name, mode, *_), result in zip(tasks, results):
-        suite[name][mode] = result
-
-    # Stitch in the per-benchmark NoProtect baseline, exactly as the serial
-    # driver does after its NoProtect run.
-    for per_mode in suite.values():
-        baseline = per_mode[ProtectionMode.NOPROTECT].execution_time_ns
-        for result in per_mode.values():
-            result.baseline_time_ns = baseline
-    return suite
+    return merge_suite_results(tasks, results, modes)
 
 
 __all__ = [
     "SuiteResults",
+    "SuiteTask",
+    "merge_suite_results",
     "parallel_map",
     "resolve_jobs",
     "run_suite_parallel",
+    "suite_tasks",
 ]

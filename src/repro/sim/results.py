@@ -13,7 +13,7 @@ Every table and figure in the paper's evaluation reads one of these fields:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.trip import TripFormat
 from repro.sim.configs import ProtectionMode
@@ -216,4 +216,76 @@ class SimulationResult:
         }
 
 
-__all__ = ["SimulationResult", "TrafficBreakdown", "LatencyBreakdown"]
+# ---------------------------------------------------------------------------
+# Suite-shaped helpers (shared by the experiment harness and the sweep runner)
+# ---------------------------------------------------------------------------
+
+#: A full run's results: benchmark name -> mode -> result.
+SuiteResults = Dict[str, Dict[ProtectionMode, SimulationResult]]
+
+
+def encode_suite(suite: SuiteResults) -> Dict[str, Dict[str, Any]]:
+    """Serialise a suite for the persistent result store."""
+    return {
+        name: {mode.value: result.to_dict() for mode, result in per_mode.items()}
+        for name, per_mode in suite.items()
+    }
+
+
+def decode_suite(payload: Dict[str, Dict[str, Any]]) -> SuiteResults:
+    """Inverse of :func:`encode_suite`."""
+    return {
+        name: {
+            ProtectionMode(mode): SimulationResult.from_dict(result)
+            for mode, result in per_mode.items()
+        }
+        for name, per_mode in payload.items()
+    }
+
+
+def suite_key(
+    names: Sequence[str],
+    modes: Sequence[ProtectionMode],
+    scale: float,
+    num_accesses: int,
+    seed: int,
+    config: Any,
+    options: Any,
+) -> str:
+    """Content hash of a suite run; includes config/options (the old dict
+    cache omitted them, so e.g. a down-scaled Redis config could be handed
+    the default config's results).  Shared by the harness and the sweep
+    runner, so a sweep point is served from (and warms) the same store
+    entries as an identical ``repro bench`` run.
+
+    The *registered parameters* of every involved mode (plus NoProtect,
+    which always runs for the baseline) are folded into the key as well:
+    the registry is open, so ``register_mode(..., replace=True)`` must
+    invalidate cached results computed under the previous registration.
+    """
+    from repro.sim.configs import mode_parameters
+    from repro.sim.store import content_key
+
+    keyed_modes = list(dict.fromkeys([ProtectionMode.NOPROTECT, *modes]))
+    return content_key(
+        "suite",
+        benchmarks=list(names),
+        modes=[mode.value for mode in modes],
+        mode_params={mode.value: mode_parameters(mode) for mode in keyed_modes},
+        scale=scale,
+        num_accesses=num_accesses,
+        seed=seed,
+        config=config,
+        options=options,
+    )
+
+
+__all__ = [
+    "SimulationResult",
+    "TrafficBreakdown",
+    "LatencyBreakdown",
+    "SuiteResults",
+    "encode_suite",
+    "decode_suite",
+    "suite_key",
+]

@@ -21,7 +21,8 @@ class TestParser:
     def test_every_registered_experiment_has_a_renderer(self):
         assert set(cli.EXPERIMENTS) == {
             "table1", "table2", "table3", "table4",
-            "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "sec62",
+            "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "fresh-scale", "sec62",
         }
 
     def test_jobs_flag_parsed(self):
@@ -75,6 +76,75 @@ class TestRendering:
     def test_sec62_static_render(self, capsys):
         assert cli.main(["sec62"]) == 0
         assert "Section 6.2" in capsys.readouterr().out
+
+
+class TestList:
+    def test_list_shows_benchmarks_with_descriptions(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "benchmarks" in out
+        assert "GAP/graph" in out  # one-line benchmark description
+
+    def test_list_shows_modes_with_descriptions(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "protection modes" in out
+        for label in ("NoProtect", "Toleo", "CIF-Tree", "Client-SGX"):
+            assert label in out
+        assert "counter-tree freshness" in out
+
+
+class TestModesFilter:
+    def test_bench_modes_filter(self, capsys):
+        assert cli.main(
+            ["bench", "--benchmarks", "hyrise", "--accesses", "3000",
+             "--modes", "CI", "Toleo"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CI" in out and "Toleo" in out
+        assert "InvisiMem" not in out
+
+    def test_bench_new_modes_simulate(self, capsys):
+        assert cli.main(
+            ["bench", "--benchmarks", "hyrise", "--accesses", "3000",
+             "--modes", "CIF-Tree", "Client-SGX"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CIF-Tree" in out and "Client-SGX" in out
+
+    def test_unknown_mode_is_a_clean_error(self, capsys):
+        assert cli.main(
+            ["bench", "--benchmarks", "hyrise", "--modes", "nope"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown protection mode" in err and "Traceback" not in err
+
+
+class TestSweep:
+    def test_sweep_two_point_grid(self, capsys):
+        assert cli.main(
+            ["sweep", "--param", "options.memory_level_parallelism=2,8",
+             "--benchmarks", "hyrise", "--modes", "CI", "--accesses", "3000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Parameter sweep" in out
+        assert "options.memory_level_parallelism=2" in out
+        assert "options.memory_level_parallelism=8" in out
+        assert "2 grid points" in out
+
+    def test_sweep_requires_params(self, capsys):
+        assert cli.main(["sweep"]) == 2
+        assert "--param" in capsys.readouterr().err
+
+    def test_sweep_unknown_axis_is_a_clean_error(self, capsys):
+        assert cli.main(["sweep", "--param", "bogus=1,2"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown sweep axis" in err and "Traceback" not in err
+
+    def test_sweep_bad_axis_value_is_a_clean_error(self, capsys):
+        assert cli.main(["sweep", "--param", "scale=big"]) == 2
+        err = capsys.readouterr().err
+        assert "needs float values" in err and "Traceback" not in err
 
 
 class TestBench:

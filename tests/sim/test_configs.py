@@ -1,11 +1,20 @@
-"""Tests for the protection-mode configuration objects."""
+"""Tests for the protection-mode configuration objects and the registry."""
+
+import pytest
 
 from repro.baselines.invisimem import InvisiMemModel
 from repro.sim.configs import (
     EVALUATED_MODES,
+    FRESHNESS_MODES,
     LATENCY_MODES,
     MODE_PARAMETERS,
+    ModeParameters,
     ProtectionMode,
+    UnknownModeError,
+    mode_parameters,
+    register_mode,
+    registered_modes,
+    resolve_mode,
 )
 
 
@@ -19,11 +28,56 @@ class TestProtectionMode:
         assert not ProtectionMode.INVISIMEM.uses_toleo_device
         assert ProtectionMode.INVISIMEM.is_invisimem
 
+    def test_simulated_baseline_flags(self):
+        for mode in (ProtectionMode.CIF_TREE, ProtectionMode.CLIENT_SGX):
+            assert mode.encrypts and mode.has_integrity and mode.has_freshness
+            assert not mode.uses_toleo_device and not mode.is_invisimem
+
     def test_labels_match_paper_names(self):
         assert ProtectionMode.NOPROTECT.value == "NoProtect"
         assert ProtectionMode.CI.value == "CI"
         assert ProtectionMode.TOLEO.value == "Toleo"
         assert ProtectionMode.INVISIMEM.value == "InvisiMem"
+        assert ProtectionMode.CIF_TREE.value == "CIF-Tree"
+        assert ProtectionMode.CLIENT_SGX.value == "Client-SGX"
+
+
+class TestModeRegistry:
+    def test_every_enum_member_is_registered(self):
+        assert set(registered_modes()) == set(ProtectionMode)
+
+    def test_mode_parameters_lookup(self):
+        params = mode_parameters(ProtectionMode.TOLEO)
+        assert params.mode is ProtectionMode.TOLEO
+        assert params.stealth_traffic
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_mode(ModeParameters(ProtectionMode.CI))
+
+    def test_replace_reregisters(self):
+        original = mode_parameters(ProtectionMode.CI)
+        try:
+            replaced = register_mode(
+                ModeParameters(ProtectionMode.CI, aes_on_read=True), replace=True
+            )
+            assert mode_parameters(ProtectionMode.CI) is replaced
+        finally:
+            register_mode(original, replace=True)
+
+    def test_resolve_mode_by_label_case_insensitive(self):
+        assert resolve_mode("Toleo") is ProtectionMode.TOLEO
+        assert resolve_mode("toleo") is ProtectionMode.TOLEO
+        assert resolve_mode("cif-tree") is ProtectionMode.CIF_TREE
+        assert resolve_mode("CLIENT_SGX") is ProtectionMode.CLIENT_SGX
+
+    def test_resolve_unknown_mode_is_a_clean_error(self):
+        with pytest.raises(UnknownModeError, match="unknown protection mode"):
+            resolve_mode("nope")
+
+    def test_descriptions_present_for_cli_listing(self):
+        for mode in registered_modes():
+            assert mode_parameters(mode).description
 
 
 class TestModeParameters:
@@ -58,3 +112,11 @@ class TestModeGroups:
     def test_latency_modes_include_c(self):
         assert ProtectionMode.C in LATENCY_MODES
         assert len(LATENCY_MODES) == 5
+
+    def test_freshness_modes_compare_toleo_to_tree_baselines(self):
+        assert FRESHNESS_MODES == (
+            ProtectionMode.NOPROTECT,
+            ProtectionMode.TOLEO,
+            ProtectionMode.CIF_TREE,
+            ProtectionMode.CLIENT_SGX,
+        )

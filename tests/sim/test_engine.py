@@ -155,14 +155,26 @@ class TestDeterminism:
 
 
 class TestCompareAndSuite:
-    def test_compare_modes_always_includes_baseline(self):
+    def test_compare_modes_returns_only_requested_modes(self):
+        # NoProtect still *runs* (it provides the baseline time) but must not
+        # leak into the result dict when the caller did not ask for it.
         results = compare_modes(
             lambda: SyntheticWorkload(seed=1),
             modes=[ProtectionMode.TOLEO],
             num_accesses=3000,
         )
-        assert ProtectionMode.NOPROTECT in results
+        assert set(results) == {ProtectionMode.TOLEO}
         assert results[ProtectionMode.TOLEO].baseline_time_ns is not None
+        assert results[ProtectionMode.TOLEO].slowdown > 1.0
+
+    def test_compare_modes_returns_baseline_when_requested(self):
+        results = compare_modes(
+            lambda: SyntheticWorkload(seed=1),
+            modes=[ProtectionMode.NOPROTECT, ProtectionMode.CI],
+            num_accesses=3000,
+        )
+        assert set(results) == {ProtectionMode.NOPROTECT, ProtectionMode.CI}
+        assert results[ProtectionMode.NOPROTECT].overhead == pytest.approx(0.0)
 
     def test_run_suite_structure(self):
         suite = run_suite(

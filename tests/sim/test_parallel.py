@@ -69,7 +69,9 @@ class TestParallelEqualsSerial:
         for per_mode in suite.values():
             assert tuple(per_mode) == EVALUATED_MODES
 
-    def test_noprotect_added_when_missing(self):
+    def test_baseline_stitched_but_not_returned_when_missing(self):
+        # NoProtect runs for the baseline time but stays out of the result,
+        # mirroring the serial compare_modes contract.
         suite = run_suite_parallel(
             ("bsw",),
             modes=(ProtectionMode.CI,),
@@ -79,10 +81,28 @@ class TestParallelEqualsSerial:
             jobs=2,
         )
         per_mode = suite["bsw"]
-        assert ProtectionMode.NOPROTECT in per_mode
+        assert set(per_mode) == {ProtectionMode.CI}
         ci = per_mode[ProtectionMode.CI]
-        assert ci.baseline_time_ns == per_mode[ProtectionMode.NOPROTECT].execution_time_ns
+        assert ci.baseline_time_ns is not None
         assert ci.slowdown > 1.0
+
+    def test_filtered_modes_bit_identical_to_serial(self):
+        serial = run_suite(
+            BENCHES,
+            modes=(ProtectionMode.CI, ProtectionMode.TOLEO),
+            scale=SCALE,
+            num_accesses=ACCESSES,
+            seed=SEED,
+        )
+        parallel = run_suite_parallel(
+            BENCHES,
+            modes=(ProtectionMode.CI, ProtectionMode.TOLEO),
+            scale=SCALE,
+            num_accesses=ACCESSES,
+            seed=SEED,
+            jobs=2,
+        )
+        assert _flatten(serial) == _flatten(parallel)
 
     def test_single_job_runs_in_process(self):
         serial = run_suite(("bsw",), scale=SCALE, num_accesses=ACCESSES, seed=SEED)

@@ -1,0 +1,249 @@
+"""Tests for the grid-sweep subsystem."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.sim.configs import ProtectionMode
+from repro.sim.store import ResultStore
+from repro.sim.sweep import (
+    SweepAxis,
+    SweepAxisError,
+    expand_grid,
+    parse_axis,
+    resolve_point,
+    run_sweep,
+)
+
+BENCHES = ("bsw",)
+MODES = (ProtectionMode.CI, ProtectionMode.TOLEO)
+ACCESSES = 3000
+
+
+def _flatten(result):
+    out = []
+    for point, suite in result:
+        for bench, per_mode in suite.items():
+            for mode, r in per_mode.items():
+                out.append(
+                    (
+                        point.label,
+                        bench,
+                        mode,
+                        r.execution_time_ns,
+                        r.baseline_time_ns,
+                        r.traffic.to_dict(),
+                        r.latency.to_dict(),
+                    )
+                )
+    return out
+
+
+class TestAxisParsing:
+    def test_parse_values_typed(self):
+        axis = parse_axis("options.memory_level_parallelism=1,2.5,8")
+        assert axis.key == "options.memory_level_parallelism"
+        assert axis.values == (1, 2.5, 8)
+
+    def test_run_axes_accepted(self):
+        for key in ("scale", "accesses", "seed"):
+            assert parse_axis(f"{key}=1,2").key == key
+
+    def test_config_axis_accepted(self):
+        assert parse_axis("config.aes_latency_cycles=40,400").values == (40, 400)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(SweepAxisError, match="unknown sweep axis"):
+            parse_axis("bogus=1,2")
+
+    def test_unknown_dataclass_field_rejected(self):
+        with pytest.raises(SweepAxisError, match="unknown sweep axis"):
+            parse_axis("options.not_a_field=1")
+
+    def test_malformed_spec_rejected(self):
+        for spec in ("no-equals", "=1,2", "key="):
+            with pytest.raises(SweepAxisError):
+                parse_axis(spec)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SweepAxisError):
+            SweepAxis("scale", ())
+
+    def test_non_numeric_run_value_is_a_clean_error(self):
+        with pytest.raises(SweepAxisError, match="needs float values"):
+            resolve_point((("scale", "big"),), 0.002, 5000, 1, None, None)
+        with pytest.raises(SweepAxisError, match="needs int values"):
+            resolve_point((("accesses", "lots"),), 0.002, 5000, 1, None, None)
+
+    def test_non_numeric_field_value_is_a_clean_error(self):
+        with pytest.raises(SweepAxisError, match="needs float values"):
+            resolve_point(
+                (("options.memory_level_parallelism", "fast"),),
+                0.002, 5000, 1, None, None,
+            )
+
+    def test_non_scalar_config_field_rejected(self):
+        with pytest.raises(SweepAxisError, match="not a scalar"):
+            resolve_point((("config.toleo", 1),), 0.002, 5000, 1, None, None)
+
+    def test_non_integral_int_value_rejected_not_truncated(self):
+        with pytest.raises(SweepAxisError, match="needs int values"):
+            resolve_point((("accesses", 2.5),), 0.002, 5000, 1, None, None)
+        with pytest.raises(SweepAxisError, match="needs int values"):
+            resolve_point((("seed", 1.5),), 0.002, 5000, 1, None, None)
+
+    def test_duplicate_axis_keys_rejected(self, tmp_path):
+        with pytest.raises(SweepAxisError, match="duplicate sweep axis"):
+            run_sweep(
+                [SweepAxis("scale", (0.001, 0.002)), SweepAxis("scale", (0.004,))],
+                benchmarks=BENCHES,
+                modes=MODES,
+                num_accesses=ACCESSES,
+                store=ResultStore(tmp_path / "cache"),
+            )
+
+
+class TestGridExpansion:
+    def test_cartesian_order_is_axis_major(self):
+        grid = expand_grid(
+            [SweepAxis("scale", (0.001, 0.002)), SweepAxis("seed", (1, 2))]
+        )
+        assert grid == [
+            (("scale", 0.001), ("seed", 1)),
+            (("scale", 0.001), ("seed", 2)),
+            (("scale", 0.002), ("seed", 1)),
+            (("scale", 0.002), ("seed", 2)),
+        ]
+
+    def test_no_axes_is_single_base_point(self):
+        assert expand_grid([]) == [()]
+
+
+class TestPointResolution:
+    def test_run_parameter_overrides(self):
+        point = resolve_point(
+            (("scale", 0.004), ("accesses", 1000), ("seed", 9)),
+            scale=0.002,
+            num_accesses=5000,
+            seed=1,
+            config=None,
+            options=None,
+        )
+        assert (point.scale, point.num_accesses, point.seed) == (0.004, 1000, 9)
+        assert point.config is None and point.options is None
+
+    def test_options_override_builds_dataclass(self):
+        point = resolve_point(
+            (("options.memory_level_parallelism", 8.0),),
+            scale=0.002,
+            num_accesses=5000,
+            seed=1,
+            config=None,
+            options=None,
+        )
+        assert point.options.memory_level_parallelism == 8.0
+        assert point.config is None  # untouched scopes stay None (shared keys)
+
+    def test_config_override_builds_dataclass(self):
+        point = resolve_point(
+            (("config.aes_latency_cycles", 400),),
+            scale=0.002,
+            num_accesses=5000,
+            seed=1,
+            config=None,
+            options=None,
+        )
+        assert isinstance(point.config, SystemConfig)
+        assert point.config.aes_latency_cycles == 400
+
+    def test_base_point_label(self):
+        point = resolve_point((), 0.002, 5000, 1, None, None)
+        assert point.label == "(base)"
+
+
+class TestRunSweep:
+    AXES = [
+        SweepAxis("options.memory_level_parallelism", (2.0, 8.0)),
+        SweepAxis("scale", (0.001, 0.002)),
+    ]
+
+    def test_four_point_grid_through_parallel_map(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        result = run_sweep(
+            self.AXES,
+            benchmarks=BENCHES,
+            modes=MODES,
+            num_accesses=ACCESSES,
+            jobs=2,
+            store=store,
+        )
+        assert len(result.points) == 4
+        assert result.simulated_points == 4
+        assert len(result.suites) == 4
+        for _, suite in result:
+            assert set(suite) == set(BENCHES)
+            for per_mode in suite.values():
+                assert set(per_mode) == set(MODES)
+                for r in per_mode.values():
+                    assert r.baseline_time_ns is not None
+
+    def test_warm_store_serves_identical_results(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        cold = run_sweep(
+            self.AXES, benchmarks=BENCHES, modes=MODES,
+            num_accesses=ACCESSES, jobs=2, store=store,
+        )
+        store.clear_memory()  # force the disk layer
+        warm = run_sweep(
+            self.AXES, benchmarks=BENCHES, modes=MODES,
+            num_accesses=ACCESSES, jobs=2, store=store,
+        )
+        assert warm.simulated_points == 0
+        assert all(warm.served_from_store)
+        assert _flatten(cold) == _flatten(warm)
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = run_sweep(
+            self.AXES, benchmarks=BENCHES, modes=MODES,
+            num_accesses=ACCESSES, jobs=1, use_cache=False,
+            store=ResultStore(tmp_path / "a"),
+        )
+        parallel = run_sweep(
+            self.AXES, benchmarks=BENCHES, modes=MODES,
+            num_accesses=ACCESSES, jobs=4, use_cache=False,
+            store=ResultStore(tmp_path / "b"),
+        )
+        assert _flatten(serial) == _flatten(parallel)
+
+    def test_new_axis_value_only_simulates_new_points(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        run_sweep(
+            [SweepAxis("scale", (0.001, 0.002))],
+            benchmarks=BENCHES, modes=MODES, num_accesses=ACCESSES, store=store,
+        )
+        extended = run_sweep(
+            [SweepAxis("scale", (0.001, 0.002, 0.004))],
+            benchmarks=BENCHES, modes=MODES, num_accesses=ACCESSES, store=store,
+        )
+        assert extended.simulated_points == 1
+        assert extended.served_from_store == [True, True, False]
+
+    def test_point_results_differ_across_the_axis(self, tmp_path):
+        result = run_sweep(
+            [SweepAxis("options.memory_level_parallelism", (1.0, 8.0))],
+            benchmarks=BENCHES, modes=(ProtectionMode.CI,),
+            num_accesses=ACCESSES, store=ResultStore(tmp_path / "cache"),
+        )
+        slow = result.suites[0]["bsw"][ProtectionMode.CI]
+        fast = result.suites[1]["bsw"][ProtectionMode.CI]
+        assert fast.execution_time_ns < slow.execution_time_ns
+
+    def test_sweep_covers_new_modes(self, tmp_path):
+        result = run_sweep(
+            [SweepAxis("scale", (0.001,))],
+            benchmarks=BENCHES,
+            modes=(ProtectionMode.TOLEO, ProtectionMode.CIF_TREE),
+            num_accesses=ACCESSES,
+            store=ResultStore(tmp_path / "cache"),
+        )
+        per_mode = result.suites[0]["bsw"]
+        assert per_mode[ProtectionMode.CIF_TREE].slowdown > 1.0
