@@ -31,20 +31,20 @@ sys.path.insert(
 )
 
 from repro.experiments.harness import QUICK_BENCHMARKS, run_benchmarks
-from repro.sim.configs import EVALUATED_MODES, ProtectionMode
+from repro.sim.configs import BASELINE_MODE, EVALUATED_MODES
 
 BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_baseline.json")
 
 #: The gated configurations: the paper's Figure 6 set plus the simulated
 #: counter-tree and Client-SGX baseline modes.
-GATED_MODES = EVALUATED_MODES + (ProtectionMode.CIF_TREE, ProtectionMode.CLIENT_SGX)
+GATED_MODES = EVALUATED_MODES + ("CIF-Tree", "Client-SGX")
 
 #: Pinned run parameters; changing any of these requires --update.
 SETTINGS = {
     "scale": 0.002,
     "num_accesses": 12_000,
     "seed": 1234,
-    "modes": [mode.value for mode in GATED_MODES],
+    "modes": list(GATED_MODES),
 }
 
 
@@ -62,9 +62,9 @@ def measure(jobs: int) -> dict:
     slowdowns = {}
     for bench, per_mode in suite.items():
         slowdowns[bench] = {
-            mode.value: round(result.slowdown, 6)
+            mode: round(result.slowdown, 6)
             for mode, result in per_mode.items()
-            if mode is not ProtectionMode.NOPROTECT
+            if mode != BASELINE_MODE
         }
     return slowdowns
 

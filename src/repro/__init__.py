@@ -26,12 +26,15 @@ Tera-scale Memory Using CXL and PIM* (ASPLOS 2024).  It provides:
 Quick start::
 
     from repro.workloads import get_workload
-    from repro.sim import SimulationEngine, ProtectionMode
+    from repro.sim import SimulationEngine
 
     workload = get_workload("bsw", scale=0.001)
-    engine = SimulationEngine.from_mode(ProtectionMode.TOLEO)
+    engine = SimulationEngine.from_mode("Toleo")
     result = engine.run(workload)
     print(result.slowdown)
+
+Protection modes are named by string label in an open registry
+(``repro.sim.register_mode``); see the README's "Register your own scheme".
 """
 
 from repro.core.config import ToleoConfig, SystemConfig

@@ -54,8 +54,8 @@ from repro.experiments.harness import (
 )
 from repro.experiments.report import format_table
 from repro.sim.configs import (
+    BASELINE_MODE,
     EVALUATED_MODES,
-    ProtectionMode,
     UnknownModeError,
     mode_parameters,
     registered_modes,
@@ -186,8 +186,9 @@ def _resolve_benchmarks(args: argparse.Namespace) -> Sequence[str]:
     return QUICK_BENCHMARKS
 
 
-def _resolve_modes(args: argparse.Namespace) -> Tuple[ProtectionMode, ...]:
-    """Map ``--modes`` labels to registry entries (UnknownModeError on typos)."""
+def _resolve_modes(args: argparse.Namespace) -> Tuple[str, ...]:
+    """Map ``--modes`` names to canonical registry labels (UnknownModeError
+    on typos, whose message lists every registered label)."""
     if not args.modes:
         return EVALUATED_MODES
     return tuple(resolve_mode(name) for name in args.modes)
@@ -207,9 +208,9 @@ def run_list() -> str:
         )
     lines.append("")
     lines.append("protection modes (--modes):")
-    for mode in registered_modes():
-        params = mode_parameters(mode)
-        lines.append(f"  {mode.value:<12} {params.description}")
+    for label in registered_modes():
+        params = mode_parameters(label)
+        lines.append(f"  {label:<12} {params.description}")
     return "\n".join(lines) + "\n"
 
 
@@ -238,7 +239,7 @@ def run_bench(args: argparse.Namespace) -> str:
     for bench, per_mode in suite.items():
         row: Dict[str, object] = {"bench": bench}
         for mode in per_mode:
-            row[mode.value] = f"{per_mode[mode].slowdown:.3f}x"
+            row[mode] = f"{per_mode[mode].slowdown:.3f}x"
         rows.append(row)
     table = format_table(rows, title="Benchmark suite: slowdown vs NoProtect")
     suite_modes = next(iter(suite.values()), {})
@@ -275,18 +276,18 @@ def run_sweep_command(args: argparse.Namespace) -> str:
     )
     elapsed = time.perf_counter() - started
 
-    protected = [m for m in result.modes if m is not ProtectionMode.NOPROTECT]
+    protected = [m for m in result.modes if m != BASELINE_MODE]
     rows: List[Dict[str, object]] = []
     for point, suite in result:
         for bench, per_mode in suite.items():
             row: Dict[str, object] = {"point": point.label, "bench": bench}
             for mode in protected:
                 if mode in per_mode:
-                    row[mode.value] = f"{per_mode[mode].slowdown:.3f}x"
+                    row[mode] = f"{per_mode[mode].slowdown:.3f}x"
             rows.append(row)
     table = format_table(
         rows,
-        columns=["point", "bench"] + [m.value for m in protected],
+        columns=["point", "bench"] + list(protected),
         title="Parameter sweep: slowdown vs NoProtect",
     )
     cached_points = len(result.points) - result.simulated_points

@@ -11,9 +11,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.harness import SuiteResults, run_benchmarks
 from repro.experiments.report import arithmetic_mean, format_percentage, format_table
-from repro.sim.configs import ProtectionMode
 
-OVERHEAD_MODES = (ProtectionMode.CI, ProtectionMode.TOLEO, ProtectionMode.INVISIMEM)
+OVERHEAD_MODES = ("CI", "Toleo", "InvisiMem")
 
 
 def compute(suite: SuiteResults) -> List[Dict[str, object]]:
@@ -23,7 +22,7 @@ def compute(suite: SuiteResults) -> List[Dict[str, object]]:
         row: Dict[str, object] = {"bench": bench}
         for mode in OVERHEAD_MODES:
             if mode in results:
-                row[mode.value] = round(results[mode].overhead, 4)
+                row[mode] = round(results[mode].overhead, 4)
         rows.append(row)
     return rows
 
@@ -32,8 +31,8 @@ def averages(rows: List[Dict[str, object]]) -> Dict[str, float]:
     """Suite-average overhead per configuration."""
     out: Dict[str, float] = {}
     for mode in OVERHEAD_MODES:
-        values = [float(row[mode.value]) for row in rows if mode.value in row]
-        out[mode.value] = arithmetic_mean(values)
+        values = [float(row[mode]) for row in rows if mode in row]
+        out[mode] = arithmetic_mean(values)
     return out
 
 
@@ -41,10 +40,8 @@ def toleo_increment_over_ci(rows: List[Dict[str, object]]) -> Dict[str, float]:
     """The freshness increment: Toleo overhead minus CI overhead per benchmark."""
     out = {}
     for row in rows:
-        if ProtectionMode.CI.value in row and ProtectionMode.TOLEO.value in row:
-            out[str(row["bench"])] = float(row[ProtectionMode.TOLEO.value]) - float(
-                row[ProtectionMode.CI.value]
-            )
+        if "CI" in row and "Toleo" in row:
+            out[str(row["bench"])] = float(row["Toleo"]) - float(row["CI"])
     return out
 
 
@@ -67,9 +64,9 @@ def render(
         {
             "bench": row["bench"],
             **{
-                mode.value: format_percentage(float(row[mode.value]))
+                mode: format_percentage(float(row[mode]))
                 for mode in OVERHEAD_MODES
-                if mode.value in row
+                if mode in row
             },
         }
         for row in rows

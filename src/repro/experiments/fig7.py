@@ -11,13 +11,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.harness import SuiteResults, run_benchmarks
 from repro.experiments.report import arithmetic_mean, format_percentage, format_table
-from repro.sim.configs import ProtectionMode
 
 
 def compute(suite: SuiteResults) -> List[Dict[str, object]]:
     rows: List[Dict[str, object]] = []
     for bench, results in suite.items():
-        toleo = results.get(ProtectionMode.TOLEO)
+        toleo = results.get("Toleo")
         if toleo is None:
             continue
         rows.append(

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.harness import SuiteResults, run_benchmarks
 from repro.experiments.report import format_table
-from repro.sim.configs import EVALUATED_MODES, ProtectionMode
+from repro.sim.configs import EVALUATED_MODES
 
 
 def compute(suite: SuiteResults) -> List[Dict[str, object]]:
@@ -27,7 +27,7 @@ def compute(suite: SuiteResults) -> List[Dict[str, object]]:
             rows.append(
                 {
                     "bench": bench,
-                    "mode": mode.value,
+                    "mode": mode,
                     "data": round(per_instr["data"], 4),
                     "mac_uv": round(per_instr["mac_uv"], 4),
                     "stealth": round(per_instr["stealth"], 4),
@@ -42,7 +42,7 @@ def stealth_traffic_fraction(rows: List[Dict[str, object]]) -> Dict[str, float]:
     """Stealth bytes as a fraction of total traffic in the Toleo configuration."""
     out = {}
     for row in rows:
-        if row["mode"] == ProtectionMode.TOLEO.value and float(row["total"]) > 0:
+        if row["mode"] == "Toleo" and float(row["total"]) > 0:
             out[str(row["bench"])] = float(row["stealth"]) / float(row["total"])
     return out
 

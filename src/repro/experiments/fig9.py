@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.harness import SuiteResults, run_benchmarks
 from repro.experiments.report import format_table
-from repro.sim.configs import LATENCY_MODES, ProtectionMode
+from repro.sim.configs import BASELINE_MODE, LATENCY_MODES
 
 
 def compute(suite: SuiteResults) -> List[Dict[str, object]]:
@@ -27,7 +27,7 @@ def compute(suite: SuiteResults) -> List[Dict[str, object]]:
             rows.append(
                 {
                     "bench": bench,
-                    "mode": mode.value,
+                    "mode": mode,
                     "dram_ns": round(breakdown["dram"], 2),
                     "decrypt_ns": round(breakdown["decryption"], 2),
                     "integrity_ns": round(breakdown["integrity"], 2),
@@ -43,11 +43,11 @@ def freshness_latency_fraction(rows: List[Dict[str, object]]) -> Dict[str, float
     """Freshness component as a fraction of the NoProtect read latency."""
     baseline: Dict[str, float] = {}
     for row in rows:
-        if row["mode"] == ProtectionMode.NOPROTECT.value:
+        if row["mode"] == BASELINE_MODE:
             baseline[str(row["bench"])] = float(row["total_ns"])
     out: Dict[str, float] = {}
     for row in rows:
-        if row["mode"] == ProtectionMode.TOLEO.value:
+        if row["mode"] == "Toleo":
             base = baseline.get(str(row["bench"]), 0.0)
             if base > 0:
                 out[str(row["bench"])] = float(row["freshness_ns"]) / base

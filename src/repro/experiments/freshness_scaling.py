@@ -22,15 +22,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.baselines.counter_trees import client_sgx_tree
 from repro.experiments import harness
 from repro.experiments.report import format_table
-from repro.sim.configs import FRESHNESS_MODES, ProtectionMode
+from repro.sim.configs import BASELINE_MODE, FRESHNESS_MODES
 from repro.sim.sweep import SweepAxis, run_sweep
+from repro.sim.variants import VARIANT_MODES
 from repro.workloads.registry import get_workload
 
 #: Footprint multipliers applied to the base scale (one sweep axis point each).
 SCALE_MULTIPLIERS = (0.25, 1.0, 4.0)
 
+#: Every mode the experiment runs: the paper's freshness comparison plus the
+#: registry-only variants (VAULT geometry, the no-freshness Scalable-SGX
+#: floor, and the Toleo+tree hybrid split) -- all picked up from the open
+#: registry, no experiment-specific wiring.
+COMPARED_MODES = FRESHNESS_MODES + VARIANT_MODES
+
 #: The schemes compared (NoProtect provides the slowdown baseline).
-SCHEME_MODES = tuple(m for m in FRESHNESS_MODES if m is not ProtectionMode.NOPROTECT)
+SCHEME_MODES = tuple(m for m in COMPARED_MODES if m != BASELINE_MODE)
 
 
 def sweep_scales(scale: float) -> Tuple[float, ...]:
@@ -48,7 +55,7 @@ def run(
     result = run_sweep(
         [SweepAxis("scale", sweep_scales(scale))],
         benchmarks=names,
-        modes=FRESHNESS_MODES,
+        modes=COMPARED_MODES,
         scale=scale,
         num_accesses=num_accesses,
         jobs=defaults["jobs"],
@@ -67,7 +74,7 @@ def run(
             }
             for mode in SCHEME_MODES:
                 if mode in per_mode:
-                    row[mode.value] = round(per_mode[mode].slowdown, 3)
+                    row[mode] = round(per_mode[mode].slowdown, 3)
             rows.append(row)
     return rows
 
@@ -86,11 +93,9 @@ def tree_growth(rows: List[Dict[str, object]]) -> Dict[str, Dict[str, float]]:
         ordered = sorted(bench_rows, key=lambda r: float(r["scale"]))
         first, last = ordered[0], ordered[-1]
         out[bench] = {
-            mode.value: round(
-                float(last[mode.value]) - float(first[mode.value]), 4
-            )
+            mode: round(float(last[mode]) - float(first[mode]), 4)
             for mode in SCHEME_MODES
-            if mode.value in first and mode.value in last
+            if mode in first and mode in last
         }
     return out
 
@@ -104,7 +109,7 @@ def render(
     table = format_table(
         rows,
         columns=["bench", "scale", "footprint_mib", "tree_levels"]
-        + [mode.value for mode in SCHEME_MODES],
+        + list(SCHEME_MODES),
         title="Freshness scaling: slowdown vs footprint (Toleo vs tree-based)",
     )
     growth = tree_growth(rows)
@@ -115,4 +120,12 @@ def render(
     return table + "\n".join(lines) + "\n"
 
 
-__all__ = ["run", "render", "tree_growth", "sweep_scales", "SCHEME_MODES", "SCALE_MULTIPLIERS"]
+__all__ = [
+    "run",
+    "render",
+    "tree_growth",
+    "sweep_scales",
+    "COMPARED_MODES",
+    "SCHEME_MODES",
+    "SCALE_MULTIPLIERS",
+]

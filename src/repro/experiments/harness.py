@@ -29,7 +29,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core.config import SystemConfig
 from repro.core.toleo import ToleoDevice
 from repro.core.trip import TripFormat
-from repro.sim.configs import EVALUATED_MODES, ProtectionMode
+from repro.sim.configs import EVALUATED_MODES, ModeLike
 from repro.sim.engine import EngineOptions, run_suite
 from repro.sim.parallel import parallel_map, run_suite_parallel
 from repro.sim.results import (
@@ -87,7 +87,7 @@ _decode_suite = decode_suite
 
 def run_benchmarks(
     benchmarks: Optional[Sequence[str]] = None,
-    modes: Sequence[ProtectionMode] = EVALUATED_MODES,
+    modes: Sequence[ModeLike] = EVALUATED_MODES,
     scale: float = 0.002,
     num_accesses: int = 60_000,
     seed: int = 1234,

@@ -1,13 +1,13 @@
-"""Protection configurations and the open mode registry.
+"""Protection configurations and the open, string-keyed mode registry.
 
 The paper evaluates four configurations (Section 7):
 
-* ``NOPROTECT`` -- no memory protection; the baseline all overheads are
+* ``NoProtect`` -- no memory protection; the baseline all overheads are
   reported against.
 * ``CI`` -- confidentiality (AES-XTS) plus integrity (MACs), equivalent to
   Scalable SGX's TME with an added integrity guarantee.  No freshness.
-* ``TOLEO`` -- CI plus freshness through the CXL-attached Toleo device.
-* ``INVISIMEM`` -- the InvisiMem-far all-smart-memory design, which provides
+* ``Toleo`` -- CI plus freshness through the CXL-attached Toleo device.
+* ``InvisiMem`` -- the InvisiMem-far all-smart-memory design, which provides
   CIF plus address/timing side-channel defences at the cost of double
   encryption, symmetric packets and dummy traffic.
 
@@ -15,34 +15,53 @@ The paper evaluates four configurations (Section 7):
 separates the C and I components, and two *simulated baseline* modes wire the
 previously table-only models from :mod:`repro.baselines` into the simulator:
 
-* ``CIF_TREE`` -- CI plus counter-tree freshness: every miss walks the
+* ``CIF-Tree`` -- CI plus counter-tree freshness: every miss walks the
   :class:`repro.baselines.counter_trees.CounterTreeModel` levels through a
   metadata cache, so the cost grows with tree depth (i.e. with footprint) --
   the scaling argument the introduction makes against Merkle/counter trees.
-* ``CLIENT_SGX`` -- Client SGX's enclave page cache: full CIF inside a small
+* ``Client-SGX`` -- Client SGX's enclave page cache: full CIF inside a small
   EPC (its own shallow counter tree) plus page faults whenever the working
   set spills out of it.
 
-A mode is *described* declaratively by :class:`ModeParameters`; the
-simulation engine builds the matching protection-path component stack from it
-(:func:`repro.sim.path.build_components`).  The registry is open: register a
-new ``ModeParameters`` and the engine, harness, persistent store, sweep
-runner and CLI all pick the mode up without modification.
+A mode is *described* declaratively by :class:`ModeParameters` and *named* by
+its string ``label``; the simulation engine builds the matching
+protection-path component stack from the parameters
+(:func:`repro.sim.path.build_components`).  The registry is fully open:
+``register_mode`` a new ``ModeParameters`` under a fresh label and the
+engine, harness, persistent store, sweep runner and CLI all pick the mode up
+without modification -- no enum edit, no engine edit (the shipped variant
+modes in :mod:`repro.sim.variants` are registered exactly this way).
+Capability flags (``has_integrity``, ``has_freshness``, ...) are *derived*
+from the parameters rather than maintained as per-mode lists, so they can
+never drift from what the component stack actually does.
+
+:class:`ProtectionMode` survives only as a deprecated alias for the seven
+seed labels: it subclasses :class:`str`, so ``ProtectionMode.TOLEO`` compares
+and hashes equal to the label ``"Toleo"`` and keeps working everywhere a
+label is expected (registry lookups, suite dictionaries, cached results).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Tuple, Union
 
 from repro.baselines.invisimem import InvisiMemModel
 from repro.baselines.sgx import ClientSgxModel
 from repro.core.config import GIB, KIB
 
 
-class ProtectionMode(enum.Enum):
-    """Which protection configuration the simulator models."""
+class ProtectionMode(str, enum.Enum):
+    """Deprecated alias for the seed protection-mode labels.
+
+    The registry is keyed by string label; this enum remains so pre-existing
+    call sites (``ProtectionMode.TOLEO``) and cached results keep resolving.
+    Because it subclasses :class:`str`, a member *is* its label: it hashes
+    and compares equal to the plain string, so enum-keyed lookups into
+    label-keyed dictionaries work unchanged.  New schemes get a label and a
+    registration, never a new enum member.
+    """
 
     NOPROTECT = "NoProtect"
     C = "C"
@@ -53,43 +72,63 @@ class ProtectionMode(enum.Enum):
     CLIENT_SGX = "Client-SGX"
 
     @property
+    def label(self) -> str:
+        return self.value
+
+    # Capability flags delegate to the registered parameters, so the enum
+    # carries no hand-maintained mode lists of its own.
+    @property
     def encrypts(self) -> bool:
-        return self is not ProtectionMode.NOPROTECT
+        return mode_parameters(self.value).encrypts
 
     @property
     def has_integrity(self) -> bool:
-        return self in (
-            ProtectionMode.CI,
-            ProtectionMode.TOLEO,
-            ProtectionMode.INVISIMEM,
-            ProtectionMode.CIF_TREE,
-            ProtectionMode.CLIENT_SGX,
-        )
+        return mode_parameters(self.value).has_integrity
 
     @property
     def has_freshness(self) -> bool:
-        return self in (
-            ProtectionMode.TOLEO,
-            ProtectionMode.INVISIMEM,
-            ProtectionMode.CIF_TREE,
-            ProtectionMode.CLIENT_SGX,
-        )
+        return mode_parameters(self.value).has_freshness
 
     @property
     def uses_toleo_device(self) -> bool:
-        return self is ProtectionMode.TOLEO
+        return mode_parameters(self.value).uses_toleo_device
 
     @property
     def is_invisimem(self) -> bool:
-        return self is ProtectionMode.INVISIMEM
+        return mode_parameters(self.value).is_invisimem
+
+
+#: Acceptable mode designators: a registry label or the deprecated enum.
+ModeLike = Union[str, ProtectionMode]
+
+#: Label of the unprotected configuration every slowdown is reported against.
+#: The engine always runs it first; the suite key always folds it in.
+BASELINE_MODE = "NoProtect"
+
+
+def mode_label(mode: ModeLike) -> str:
+    """Normalise a mode designator (label string or enum member) to its label.
+
+    Accepts any enum with a string value so callers' own mode enums work too;
+    does *not* touch the registry, so it is safe on unregistered labels.
+    """
+    if isinstance(mode, enum.Enum):
+        return str(mode.value)
+    if isinstance(mode, str):
+        return mode
+    raise TypeError(f"expected a mode label or ProtectionMode, got {type(mode).__name__}")
 
 
 class UnknownModeError(KeyError):
     """Raised for a protection-mode name not in the registry (a user-input
-    error, so CLIs can catch it narrowly -- mirrors ``UnknownBenchmarkError``)."""
+    error, so CLIs can catch it narrowly -- mirrors ``UnknownBenchmarkError``).
+
+    The message always lists the currently registered labels, so a CLI typo
+    doubles as discovery of what ``--modes`` accepts.
+    """
 
     def __init__(self, name: str) -> None:
-        available = ", ".join(mode.value for mode in registered_modes())
+        available = ", ".join(registered_modes())
         super().__init__(f"unknown protection mode {name!r}; available: {available}")
 
 
@@ -140,9 +179,15 @@ class EpcPagingSpec:
 
 @dataclass(frozen=True)
 class ModeParameters:
-    """Declarative description of one protection mode's component stack."""
+    """Declarative description of one protection mode's component stack.
 
-    mode: ProtectionMode
+    ``label`` is the registry key and the paper-style display name; it is a
+    plain string (a deprecated :class:`ProtectionMode` member passed here is
+    normalised to its label).  The capability properties are *derived* from
+    the component-stack fields -- there is no separate flag to keep in sync.
+    """
+
+    label: str
     aes_on_read: bool = False
     mac_traffic: bool = False
     stealth_traffic: bool = False
@@ -151,18 +196,58 @@ class ModeParameters:
     epc_paging: EpcPagingSpec | None = None
     description: str = ""
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "label", mode_label(self.label))
+        if not self.label:
+            raise ValueError("mode label must be a non-empty string")
+
+    # -- derived capabilities ----------------------------------------------
+
     @property
-    def label(self) -> str:
-        return self.mode.value
+    def encrypts(self) -> bool:
+        """Data confidentiality: AES decryption sits on the read path."""
+        return self.aes_on_read
+
+    @property
+    def has_integrity(self) -> bool:
+        """MAC verification, either explicit or inside InvisiMem's packets."""
+        return self.mac_traffic or self.invisimem is not None
+
+    @property
+    def has_freshness(self) -> bool:
+        """Replay protection: stealth versions, a counter tree, or InvisiMem."""
+        return (
+            self.stealth_traffic
+            or self.counter_tree is not None
+            or self.invisimem is not None
+        )
+
+    @property
+    def uses_toleo_device(self) -> bool:
+        """Freshness served by the CXL-attached Toleo stealth-version device."""
+        return self.stealth_traffic
+
+    @property
+    def is_invisimem(self) -> bool:
+        return self.invisimem is not None
+
+    @property
+    def mode(self) -> ModeLike:
+        """Deprecated: the matching :class:`ProtectionMode` member for seed
+        labels, or the plain label for registry-only modes."""
+        try:
+            return ProtectionMode(self.label)
+        except ValueError:
+            return self.label
 
 
 # ---------------------------------------------------------------------------
 # The mode registry
 # ---------------------------------------------------------------------------
 
-#: Mode -> parameters.  Open: ``register_mode`` adds entries; the historical
+#: Label -> parameters.  Open: ``register_mode`` adds entries; the historical
 #: ``MODE_PARAMETERS`` name is kept as the live registry mapping.
-MODE_PARAMETERS: Dict[ProtectionMode, ModeParameters] = {}
+MODE_PARAMETERS: Dict[str, ModeParameters] = {}
 
 
 def register_mode(params: ModeParameters, replace: bool = False) -> ModeParameters:
@@ -173,54 +258,95 @@ def register_mode(params: ModeParameters, replace: bool = False) -> ModeParamete
     resolves modes through this registry, so registering is all a new scheme
     needs to become simulatable.
     """
-    if params.mode in MODE_PARAMETERS and not replace:
-        raise ValueError(f"mode {params.mode.value!r} is already registered")
-    MODE_PARAMETERS[params.mode] = params
+    if params.label in MODE_PARAMETERS and not replace:
+        raise ValueError(f"mode {params.label!r} is already registered")
+    folded = _fold(params.label)
+    for existing in MODE_PARAMETERS:
+        if existing != params.label and _fold(existing) == folded:
+            # resolve_mode matches case/separator-insensitively; two labels
+            # that fold together would resolve the same user input to
+            # different modes (and different store keys) depending on
+            # spelling.
+            raise ValueError(
+                f"mode label {params.label!r} is ambiguous with registered "
+                f"mode {existing!r} (names are matched case- and "
+                "separator-insensitively)"
+            )
+    MODE_PARAMETERS[params.label] = params
     return params
 
 
-def mode_parameters(mode: ProtectionMode) -> ModeParameters:
-    """Look up a registered mode's parameters."""
+def unregister_mode(mode: ModeLike) -> None:
+    """Remove a registered mode (tests and ad-hoc experiments clean up).
+
+    The seven seed labels are load-bearing -- the baseline runs in every
+    suite and the deprecated enum delegates its capability flags to their
+    registrations -- so they can be replaced but never removed.
+    """
+    label = mode_label(mode)
+    if any(label == member.value for member in ProtectionMode):
+        raise ValueError(f"seed mode {label!r} cannot be unregistered (replace it instead)")
+    MODE_PARAMETERS.pop(label, None)
+
+
+def mode_parameters(mode: ModeLike) -> ModeParameters:
+    """Look up a registered mode's parameters by label (or deprecated enum)."""
+    label = mode_label(mode)
     try:
-        return MODE_PARAMETERS[mode]
+        return MODE_PARAMETERS[label]
     except KeyError:
-        raise UnknownModeError(mode.value) from None
+        raise UnknownModeError(label) from None
 
 
-def registered_modes() -> Tuple[ProtectionMode, ...]:
-    """Every registered mode, in registration order."""
+def registered_modes() -> Tuple[str, ...]:
+    """Every registered mode label, in registration order."""
     return tuple(MODE_PARAMETERS)
 
 
-def resolve_mode(name: str) -> ProtectionMode:
-    """Resolve a user-supplied mode name (case-insensitive on the paper label).
+def _fold(name: str) -> str:
+    """Case-fold a mode name and drop separator punctuation, so user input
+    like ``client_sgx``, ``cif tree`` or ``toleo-tree`` still finds
+    ``Client-SGX``/``CIF-Tree``/``Toleo+Tree``."""
+    folded = name.strip().lower()
+    for separator in "-_+ ":
+        folded = folded.replace(separator, "")
+    return folded
 
-    Raises :class:`UnknownModeError` for names outside the registry, so CLIs
-    can report a clean error instead of a traceback.
+
+def resolve_mode(name: ModeLike) -> str:
+    """Resolve a user-supplied mode name to its canonical registered label.
+
+    Matching is case-insensitive and ignores ``-``/``_``/space differences
+    (covering the old enum-name spellings like ``CLIENT_SGX``).  Raises
+    :class:`UnknownModeError` for names outside the registry, so CLIs can
+    report a clean error instead of a traceback.
     """
-    wanted = name.strip().lower()
-    for mode in registered_modes():
-        if mode.value.lower() == wanted or mode.name.lower() == wanted:
-            return mode
-    raise UnknownModeError(name)
+    wanted = mode_label(name)
+    if wanted in MODE_PARAMETERS:
+        return wanted
+    folded = _fold(wanted)
+    for label in MODE_PARAMETERS:
+        if _fold(label) == folded:
+            return label
+    raise UnknownModeError(wanted)
 
 
 register_mode(
     ModeParameters(
-        ProtectionMode.NOPROTECT,
+        "NoProtect",
         description="no memory protection; the overhead baseline",
     )
 )
 register_mode(
     ModeParameters(
-        ProtectionMode.C,
+        "C",
         aes_on_read=True,
         description="confidentiality only (AES-XTS decryption latency)",
     )
 )
 register_mode(
     ModeParameters(
-        ProtectionMode.CI,
+        "CI",
         aes_on_read=True,
         mac_traffic=True,
         description="confidentiality + integrity (MAC cache and MAC+UV traffic)",
@@ -228,7 +354,7 @@ register_mode(
 )
 register_mode(
     ModeParameters(
-        ProtectionMode.TOLEO,
+        "Toleo",
         aes_on_read=True,
         mac_traffic=True,
         stealth_traffic=True,
@@ -237,7 +363,7 @@ register_mode(
 )
 register_mode(
     ModeParameters(
-        ProtectionMode.INVISIMEM,
+        "InvisiMem",
         aes_on_read=True,
         mac_traffic=True,
         stealth_traffic=False,
@@ -247,7 +373,7 @@ register_mode(
 )
 register_mode(
     ModeParameters(
-        ProtectionMode.CIF_TREE,
+        "CIF-Tree",
         aes_on_read=True,
         mac_traffic=True,
         counter_tree=CounterTreeSpec(),
@@ -256,7 +382,7 @@ register_mode(
 )
 register_mode(
     ModeParameters(
-        ProtectionMode.CLIENT_SGX,
+        "Client-SGX",
         aes_on_read=True,
         mac_traffic=True,
         counter_tree=CounterTreeSpec(cache_bytes=64 * KIB),
@@ -267,38 +393,26 @@ register_mode(
 
 
 #: The configurations compared in Figure 6 and Figure 8.
-EVALUATED_MODES = (
-    ProtectionMode.NOPROTECT,
-    ProtectionMode.CI,
-    ProtectionMode.TOLEO,
-    ProtectionMode.INVISIMEM,
-)
+EVALUATED_MODES: Tuple[str, ...] = ("NoProtect", "CI", "Toleo", "InvisiMem")
 
 #: The configurations in Figure 9's latency breakdown.
-LATENCY_MODES = (
-    ProtectionMode.NOPROTECT,
-    ProtectionMode.C,
-    ProtectionMode.CI,
-    ProtectionMode.TOLEO,
-    ProtectionMode.INVISIMEM,
-)
+LATENCY_MODES: Tuple[str, ...] = ("NoProtect", "C", "CI", "Toleo", "InvisiMem")
 
 #: Freshness-scheme comparison: Toleo versus the simulated tree baselines.
-FRESHNESS_MODES = (
-    ProtectionMode.NOPROTECT,
-    ProtectionMode.TOLEO,
-    ProtectionMode.CIF_TREE,
-    ProtectionMode.CLIENT_SGX,
-)
+FRESHNESS_MODES: Tuple[str, ...] = ("NoProtect", "Toleo", "CIF-Tree", "Client-SGX")
 
 __all__ = [
     "ProtectionMode",
+    "ModeLike",
+    "BASELINE_MODE",
     "ModeParameters",
     "CounterTreeSpec",
     "EpcPagingSpec",
     "UnknownModeError",
     "MODE_PARAMETERS",
+    "mode_label",
     "register_mode",
+    "unregister_mode",
     "mode_parameters",
     "registered_modes",
     "resolve_mode",

@@ -32,9 +32,11 @@ from repro.cache.hierarchy import CacheHierarchy
 from repro.core.config import CACHE_BLOCK_BYTES, SystemConfig
 from repro.memory.devices import RackMemory
 from repro.sim.configs import (
+    BASELINE_MODE,
     EVALUATED_MODES,
+    ModeLike,
     ModeParameters,
-    ProtectionMode,
+    mode_label,
     mode_parameters,
 )
 from repro.sim.path import AccessContext, PathComponent, build_components
@@ -78,11 +80,12 @@ class SimulationEngine:
     @classmethod
     def from_mode(
         cls,
-        mode: ProtectionMode,
+        mode: ModeLike,
         config: Optional[SystemConfig] = None,
         options: Optional[EngineOptions] = None,
         seed: int = 0,
     ) -> "SimulationEngine":
+        """Build an engine for a registered mode label (or deprecated enum)."""
         return cls(mode_parameters(mode), config=config, options=options, seed=seed)
 
     # ------------------------------------------------------------------
@@ -185,7 +188,7 @@ class SimulationEngine:
 
         return SimulationResult(
             workload=workload.name,
-            mode=self.params.mode,
+            mode=self.params.label,
             instructions=instructions,
             accesses=num_accesses,
             llc_misses=hierarchy.l3.stats.misses,
@@ -242,23 +245,23 @@ class SimulationEngine:
 # Convenience drivers
 # ---------------------------------------------------------------------------
 
-def ordered_modes(modes: Sequence[ProtectionMode]) -> List[ProtectionMode]:
+def ordered_modes(modes: Sequence[ModeLike]) -> List[str]:
     """The mode execution order: NoProtect first (it provides the baseline)."""
-    ordered = list(modes)
-    if ProtectionMode.NOPROTECT not in ordered:
-        ordered.insert(0, ProtectionMode.NOPROTECT)
+    ordered = [mode_label(mode) for mode in modes]
+    if BASELINE_MODE not in ordered:
+        ordered.insert(0, BASELINE_MODE)
     return ordered
 
 
 def compare_modes(
     workload_factory,
-    modes: Sequence[ProtectionMode] = EVALUATED_MODES,
+    modes: Sequence[ModeLike] = EVALUATED_MODES,
     num_accesses: int = 100_000,
     config: Optional[SystemConfig] = None,
     options: Optional[EngineOptions] = None,
     seed: int = 0,
     reuse_trace: bool = True,
-) -> Dict[ProtectionMode, SimulationResult]:
+) -> Dict[str, SimulationResult]:
     """Run one workload under several configurations with a shared baseline.
 
     ``workload_factory`` is a zero-argument callable returning a *fresh*
@@ -273,21 +276,21 @@ def compare_modes(
     contains only the requested modes -- the baseline result no longer leaks
     into callers that did not ask for it.
     """
-    results: Dict[ProtectionMode, SimulationResult] = {}
+    results: Dict[str, SimulationResult] = {}
     baseline_time: Optional[float] = None
 
     trace: Optional[Trace] = None
     if reuse_trace:
         trace = workload_factory().capture(num_accesses)
 
-    requested = set(modes)
+    requested = {mode_label(mode) for mode in modes}
     for mode in ordered_modes(modes):
         engine = SimulationEngine.from_mode(mode, config=config, options=options, seed=seed)
         subject = trace if trace is not None else workload_factory()
         result = engine.run(
             subject, num_accesses=num_accesses, baseline_time_ns=baseline_time
         )
-        if mode is ProtectionMode.NOPROTECT:
+        if mode == BASELINE_MODE:
             baseline_time = result.execution_time_ns
             result.baseline_time_ns = baseline_time
         if mode in requested:
@@ -302,18 +305,18 @@ def compare_modes(
 
 def run_suite(
     benchmark_names: Iterable[str],
-    modes: Sequence[ProtectionMode] = EVALUATED_MODES,
+    modes: Sequence[ModeLike] = EVALUATED_MODES,
     scale: float = 0.002,
     num_accesses: int = 100_000,
     seed: int = 1234,
     config: Optional[SystemConfig] = None,
     options: Optional[EngineOptions] = None,
     reuse_trace: bool = True,
-) -> Dict[str, Dict[ProtectionMode, SimulationResult]]:
+) -> Dict[str, Dict[str, SimulationResult]]:
     """Run a list of named benchmarks under the requested configurations."""
     from repro.workloads.registry import get_workload
 
-    suite: Dict[str, Dict[ProtectionMode, SimulationResult]] = {}
+    suite: Dict[str, Dict[str, SimulationResult]] = {}
     for name in benchmark_names:
         suite[name] = compare_modes(
             lambda name=name: get_workload(name, scale=scale, seed=seed),

@@ -27,19 +27,19 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
 from repro.sim.configs import (
+    BASELINE_MODE,
     EVALUATED_MODES,
+    ModeLike,
     ModeParameters,
-    ProtectionMode,
+    mode_label,
     mode_parameters,
 )
 from repro.sim.engine import EngineOptions, SimulationEngine, ordered_modes
-from repro.sim.results import SimulationResult
-
-SuiteResults = Dict[str, Dict[ProtectionMode, SimulationResult]]
+from repro.sim.results import SimulationResult, SuiteResults
 
 #: One unit of work: everything a worker needs to run one simulation.  The
 #: mode's *resolved* ModeParameters travel with the task (not just the enum)
@@ -90,7 +90,7 @@ def _run_suite_task(task: SuiteTask) -> SimulationResult:
 
 def suite_tasks(
     names: Sequence[str],
-    modes: Sequence[ProtectionMode],
+    modes: Sequence[ModeLike],
     scale: float,
     num_accesses: int,
     seed: int,
@@ -112,7 +112,7 @@ def suite_tasks(
 def merge_suite_results(
     tasks: Sequence[SuiteTask],
     results: Sequence[SimulationResult],
-    requested_modes: Sequence[ProtectionMode],
+    requested_modes: Sequence[ModeLike],
 ) -> SuiteResults:
     """Reassemble task-ordered results into the serial driver's suite shape.
 
@@ -122,12 +122,12 @@ def merge_suite_results(
     """
     complete: SuiteResults = {}
     for (name, params, *_), result in zip(tasks, results):
-        complete.setdefault(name, {})[params.mode] = result
+        complete.setdefault(name, {})[params.label] = result
 
-    requested = set(requested_modes)
+    requested = {mode_label(mode) for mode in requested_modes}
     suite: SuiteResults = {}
     for name, per_mode in complete.items():
-        baseline = per_mode[ProtectionMode.NOPROTECT].execution_time_ns
+        baseline = per_mode[BASELINE_MODE].execution_time_ns
         for result in per_mode.values():
             result.baseline_time_ns = baseline
         suite[name] = {
@@ -138,7 +138,7 @@ def merge_suite_results(
 
 def run_suite_parallel(
     benchmark_names: Iterable[str],
-    modes: Sequence[ProtectionMode] = EVALUATED_MODES,
+    modes: Sequence[ModeLike] = EVALUATED_MODES,
     scale: float = 0.002,
     num_accesses: int = 100_000,
     seed: int = 1234,

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.trip import TripFormat
-from repro.sim.configs import ProtectionMode
+from repro.sim.configs import BASELINE_MODE, ModeLike, mode_label
 
 
 @dataclass
@@ -104,7 +104,7 @@ class SimulationResult:
     """Everything measured by one (workload, protection mode) simulation."""
 
     workload: str
-    mode: ProtectionMode
+    mode: str
     instructions: int
     accesses: int
     llc_misses: int
@@ -119,6 +119,10 @@ class SimulationResult:
     toleo_peak_bytes: int = 0
     toleo_usage_timeline: List[Dict[str, int]] = field(default_factory=list)
     baseline_time_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # Accept the deprecated ProtectionMode enum; store the plain label.
+        self.mode = mode_label(self.mode)
 
     # -- derived metrics --------------------------------------------------------
 
@@ -169,7 +173,7 @@ class SimulationResult:
         """Lossless JSON-serialisable form (persistent result store)."""
         return {
             "workload": self.workload,
-            "mode": self.mode.value,
+            "mode": self.mode,
             "instructions": self.instructions,
             "accesses": self.accesses,
             "llc_misses": self.llc_misses,
@@ -191,7 +195,6 @@ class SimulationResult:
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "SimulationResult":
         data = dict(payload)
-        data["mode"] = ProtectionMode(data["mode"])
         data["traffic"] = TrafficBreakdown.from_dict(data["traffic"])
         data["latency"] = LatencyBreakdown.from_dict(data["latency"])
         data["trip_format_counts"] = {
@@ -203,7 +206,7 @@ class SimulationResult:
         """A flat dictionary convenient for tabular reports."""
         return {
             "workload": self.workload,
-            "mode": self.mode.value,
+            "mode": self.mode,
             "slowdown": round(self.slowdown, 4),
             "overhead_pct": round(self.overhead * 100.0, 2),
             "llc_mpki": round(self.llc_mpki, 2),
@@ -220,14 +223,21 @@ class SimulationResult:
 # Suite-shaped helpers (shared by the experiment harness and the sweep runner)
 # ---------------------------------------------------------------------------
 
-#: A full run's results: benchmark name -> mode -> result.
-SuiteResults = Dict[str, Dict[ProtectionMode, SimulationResult]]
+#: A full run's results: benchmark name -> mode label -> result.  Pre-PR3
+#: code keyed the inner dict by the ProtectionMode enum; because the enum
+#: subclasses str, enum-keyed lookups into these label-keyed dicts (and the
+#: other way round) still resolve.
+SuiteResults = Dict[str, Dict[str, SimulationResult]]
 
 
 def encode_suite(suite: SuiteResults) -> Dict[str, Dict[str, Any]]:
-    """Serialise a suite for the persistent result store."""
+    """Serialise a suite for the persistent result store.
+
+    The on-disk layout is unchanged from the enum era: mode labels were
+    always written as their paper strings, so pre-PR3 entries decode as-is.
+    """
     return {
-        name: {mode.value: result.to_dict() for mode, result in per_mode.items()}
+        name: {mode_label(mode): result.to_dict() for mode, result in per_mode.items()}
         for name, per_mode in suite.items()
     }
 
@@ -236,7 +246,7 @@ def decode_suite(payload: Dict[str, Dict[str, Any]]) -> SuiteResults:
     """Inverse of :func:`encode_suite`."""
     return {
         name: {
-            ProtectionMode(mode): SimulationResult.from_dict(result)
+            mode: SimulationResult.from_dict(result)
             for mode, result in per_mode.items()
         }
         for name, per_mode in payload.items()
@@ -245,7 +255,7 @@ def decode_suite(payload: Dict[str, Dict[str, Any]]) -> SuiteResults:
 
 def suite_key(
     names: Sequence[str],
-    modes: Sequence[ProtectionMode],
+    modes: Sequence[ModeLike],
     scale: float,
     num_accesses: int,
     seed: int,
@@ -258,20 +268,21 @@ def suite_key(
     runner, so a sweep point is served from (and warms) the same store
     entries as an identical ``repro bench`` run.
 
-    The *registered parameters* of every involved mode (plus NoProtect,
-    which always runs for the baseline) are folded into the key as well:
-    the registry is open, so ``register_mode(..., replace=True)`` must
+    The *registered parameters* of every involved mode (plus the NoProtect
+    baseline, which always runs) are folded into the key as well: the
+    registry is open, so ``register_mode(..., replace=True)`` must
     invalidate cached results computed under the previous registration.
     """
     from repro.sim.configs import mode_parameters
     from repro.sim.store import content_key
 
-    keyed_modes = list(dict.fromkeys([ProtectionMode.NOPROTECT, *modes]))
+    labels = [mode_label(mode) for mode in modes]
+    keyed_modes = list(dict.fromkeys([BASELINE_MODE, *labels]))
     return content_key(
         "suite",
         benchmarks=list(names),
-        modes=[mode.value for mode in modes],
-        mode_params={mode.value: mode_parameters(mode) for mode in keyed_modes},
+        modes=labels,
+        mode_params={label: mode_parameters(label) for label in keyed_modes},
         scale=scale,
         num_accesses=num_accesses,
         seed=seed,

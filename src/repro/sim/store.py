@@ -144,10 +144,15 @@ class ResultStore:
         try:
             with open(path) as handle:
                 envelope = json.load(handle)
+            # A truncated or otherwise corrupted entry can decode to anything
+            # (or not decode at all); every such shape must degrade to a miss
+            # and a recompute, never an exception.
+            if not isinstance(envelope, dict):
+                return None
             if envelope.get("format") != FORMAT_VERSION or envelope.get("key") != key:
                 return None
             value = decoder(envelope["payload"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
             return None
         self._memory[key] = value
         return value

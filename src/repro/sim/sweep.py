@@ -29,7 +29,7 @@ from itertools import product
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
-from repro.sim.configs import EVALUATED_MODES, ProtectionMode
+from repro.sim.configs import EVALUATED_MODES, ModeLike, mode_label
 from repro.sim.engine import EngineOptions
 from repro.sim.parallel import (
     SuiteTask,
@@ -216,7 +216,7 @@ class SweepResult:
     """Outcome of one grid sweep: per-point suites plus cache telemetry."""
 
     benchmarks: Tuple[str, ...]
-    modes: Tuple[ProtectionMode, ...]
+    modes: Tuple[str, ...]
     points: List[SweepPoint]
     suites: List[SuiteResults]
     served_from_store: List[bool]
@@ -232,7 +232,7 @@ class SweepResult:
 def run_sweep(
     axes: Sequence[SweepAxis],
     benchmarks: Sequence[str],
-    modes: Sequence[ProtectionMode] = EVALUATED_MODES,
+    modes: Sequence[ModeLike] = EVALUATED_MODES,
     scale: float = 0.002,
     num_accesses: int = 20_000,
     seed: int = 1234,
@@ -250,7 +250,7 @@ def run_sweep(
     the exact payload a fresh simulation produces.
     """
     names = tuple(benchmarks)
-    mode_order = tuple(modes)
+    mode_order = tuple(mode_label(mode) for mode in modes)
     axis_keys = [axis.key for axis in axes]
     duplicates = sorted({key for key in axis_keys if axis_keys.count(key) > 1})
     if duplicates:

@@ -93,6 +93,12 @@ class TestList:
             assert label in out
         assert "counter-tree freshness" in out
 
+    def test_list_shows_registry_only_variants(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for label in ("Vault-Tree", "Scalable-SGX", "Toleo+Tree"):
+            assert label in out
+
 
 class TestModesFilter:
     def test_bench_modes_filter(self, capsys):
@@ -112,12 +118,40 @@ class TestModesFilter:
         out = capsys.readouterr().out
         assert "CIF-Tree" in out and "Client-SGX" in out
 
+    def test_bench_variant_modes_simulate(self, capsys):
+        # Registry-only modes (no enum member) are first-class on the CLI.
+        assert cli.main(
+            ["bench", "--benchmarks", "hyrise", "--accesses", "3000",
+             "--modes", "Vault-Tree", "Scalable-SGX", "Toleo+Tree"]
+        ) == 0
+        out = capsys.readouterr().out
+        for label in ("Vault-Tree", "Scalable-SGX", "Toleo+Tree"):
+            assert label in out
+
     def test_unknown_mode_is_a_clean_error(self, capsys):
         assert cli.main(
             ["bench", "--benchmarks", "hyrise", "--modes", "nope"]
         ) == 2
         err = capsys.readouterr().err
         assert "unknown protection mode" in err and "Traceback" not in err
+
+    def test_unknown_mode_error_lists_available_labels(self, capsys):
+        assert cli.main(
+            ["bench", "--benchmarks", "hyrise", "--modes", "nope"]
+        ) == 2
+        err = capsys.readouterr().err
+        # The message doubles as discovery: every registered label is shown,
+        # including registry-only variants.
+        for label in ("NoProtect", "CI", "Toleo", "CIF-Tree", "Vault-Tree", "Toleo+Tree"):
+            assert label in err
+
+    def test_sweep_unknown_mode_lists_available_labels(self, capsys):
+        assert cli.main(
+            ["sweep", "--param", "scale=0.001", "--modes", "Tolio"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown protection mode 'Tolio'" in err
+        assert "Toleo" in err and "Traceback" not in err
 
 
 class TestSweep:

@@ -1,25 +1,52 @@
-"""Tests for the protection-mode configuration objects and the registry."""
+"""Tests for the protection-mode configuration objects and the registry.
+
+The registry is keyed by string label and capability flags are *derived*
+from ``ModeParameters``; ``ProtectionMode`` survives only as a deprecated,
+str-subclassing alias for the seven seed labels.  These tests pin both the
+open-registry semantics and the alias's backwards compatibility.
+"""
 
 import pytest
 
 from repro.baselines.invisimem import InvisiMemModel
 from repro.sim.configs import (
+    BASELINE_MODE,
     EVALUATED_MODES,
     FRESHNESS_MODES,
     LATENCY_MODES,
     MODE_PARAMETERS,
+    CounterTreeSpec,
     ModeParameters,
     ProtectionMode,
     UnknownModeError,
+    mode_label,
     mode_parameters,
     register_mode,
     registered_modes,
     resolve_mode,
+    unregister_mode,
+)
+from repro.sim.variants import VARIANT_MODES
+
+SEED_LABELS = (
+    "NoProtect", "C", "CI", "Toleo", "InvisiMem", "CIF-Tree", "Client-SGX",
 )
 
 
-class TestProtectionMode:
-    def test_capability_flags(self):
+class TestProtectionModeAlias:
+    """The deprecated enum must stay interchangeable with its label."""
+
+    def test_members_are_their_labels(self):
+        for member in ProtectionMode:
+            assert member == member.value
+            assert hash(member) == hash(member.value)
+            assert member.label == member.value
+
+    def test_enum_keys_hit_label_keyed_dicts(self):
+        assert MODE_PARAMETERS[ProtectionMode.TOLEO] is MODE_PARAMETERS["Toleo"]
+        assert ProtectionMode.CIF_TREE in MODE_PARAMETERS
+
+    def test_capability_flags_delegate_to_registered_parameters(self):
         assert not ProtectionMode.NOPROTECT.encrypts
         assert ProtectionMode.C.encrypts and not ProtectionMode.C.has_integrity
         assert ProtectionMode.CI.has_integrity and not ProtectionMode.CI.has_freshness
@@ -41,67 +68,173 @@ class TestProtectionMode:
         assert ProtectionMode.CIF_TREE.value == "CIF-Tree"
         assert ProtectionMode.CLIENT_SGX.value == "Client-SGX"
 
+    def test_mode_label_normalises(self):
+        assert mode_label(ProtectionMode.TOLEO) == "Toleo"
+        assert mode_label("Toleo") == "Toleo"
+        with pytest.raises(TypeError):
+            mode_label(42)
+
+
+class TestDerivedCapabilities:
+    """Capability flags come from the component stack, not hand-kept lists."""
+
+    def test_encrypts_follows_aes(self):
+        assert not ModeParameters("x-none").encrypts
+        assert ModeParameters("x-c", aes_on_read=True).encrypts
+
+    def test_integrity_from_mac_or_invisimem(self):
+        assert ModeParameters("x-mac", mac_traffic=True).has_integrity
+        assert ModeParameters("x-im", invisimem=InvisiMemModel()).has_integrity
+        assert not ModeParameters("x-c", aes_on_read=True).has_integrity
+
+    def test_freshness_from_stealth_tree_or_invisimem(self):
+        assert ModeParameters("x-st", stealth_traffic=True).has_freshness
+        assert ModeParameters("x-tree", counter_tree=CounterTreeSpec()).has_freshness
+        assert ModeParameters("x-im", invisimem=InvisiMemModel()).has_freshness
+        assert not ModeParameters("x-ci", mac_traffic=True).has_freshness
+
+    def test_toleo_device_only_for_stealth_traffic(self):
+        assert ModeParameters("x-st", stealth_traffic=True).uses_toleo_device
+        assert not ModeParameters("x-tree", counter_tree=CounterTreeSpec()).uses_toleo_device
+
+    def test_registered_modes_flags_are_consistent(self):
+        for label, params in MODE_PARAMETERS.items():
+            assert params.label == label
+            assert params.encrypts == params.aes_on_read
+            assert params.has_integrity == (
+                params.mac_traffic or params.invisimem is not None
+            )
+            assert params.has_freshness == (
+                params.stealth_traffic
+                or params.counter_tree is not None
+                or params.invisimem is not None
+            )
+
 
 class TestModeRegistry:
-    def test_every_enum_member_is_registered(self):
-        assert set(registered_modes()) == set(ProtectionMode)
+    def test_every_seed_label_is_registered(self):
+        assert set(SEED_LABELS) <= set(registered_modes())
+        assert set(ProtectionMode) <= set(registered_modes())
 
-    def test_mode_parameters_lookup(self):
-        params = mode_parameters(ProtectionMode.TOLEO)
-        assert params.mode is ProtectionMode.TOLEO
+    def test_variant_modes_are_registered_without_enum_members(self):
+        enum_labels = {member.value for member in ProtectionMode}
+        for label in VARIANT_MODES:
+            assert label in registered_modes()
+            assert label not in enum_labels
+
+    def test_registration_order_is_preserved(self):
+        assert registered_modes()[: len(SEED_LABELS)] == SEED_LABELS
+
+    def test_mode_parameters_lookup_by_label_and_enum(self):
+        params = mode_parameters("Toleo")
+        assert params is mode_parameters(ProtectionMode.TOLEO)
+        assert params.label == "Toleo"
+        assert params.mode is ProtectionMode.TOLEO  # deprecated accessor
         assert params.stealth_traffic
+
+    def test_registry_only_mode_has_no_enum_member(self):
+        params = mode_parameters("Vault-Tree")
+        assert params.mode == "Vault-Tree"  # plain label, no enum slot
+        assert not isinstance(params.mode, ProtectionMode)
+
+    def test_enum_first_positional_argument_still_accepted(self):
+        params = ModeParameters(ProtectionMode.CI, aes_on_read=True)
+        assert params.label == "CI"
+        assert isinstance(params.label, str) and not isinstance(params.label, ProtectionMode)
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ModeParameters("")
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="already registered"):
-            register_mode(ModeParameters(ProtectionMode.CI))
+            register_mode(ModeParameters("CI"))
 
     def test_replace_reregisters(self):
-        original = mode_parameters(ProtectionMode.CI)
+        original = mode_parameters("CI")
         try:
             replaced = register_mode(
-                ModeParameters(ProtectionMode.CI, aes_on_read=True), replace=True
+                ModeParameters("CI", aes_on_read=True), replace=True
             )
-            assert mode_parameters(ProtectionMode.CI) is replaced
+            assert mode_parameters("CI") is replaced
         finally:
             register_mode(original, replace=True)
 
+    def test_fold_colliding_label_rejected(self):
+        # "toleo tree" folds to the same key as the registered "Toleo+Tree";
+        # allowing it would make resolve_mode spelling-dependent.
+        with pytest.raises(ValueError, match="ambiguous"):
+            register_mode(ModeParameters("toleo tree", aes_on_read=True))
+        with pytest.raises(ValueError, match="ambiguous"):
+            register_mode(ModeParameters("TOLEO", aes_on_read=True))
+        assert "toleo tree" not in registered_modes()
+
+    def test_register_and_unregister_round_trip(self):
+        params = register_mode(ModeParameters("Unit-Test-Mode", aes_on_read=True))
+        try:
+            assert resolve_mode("unit-test-mode") == "Unit-Test-Mode"
+            assert mode_parameters("Unit-Test-Mode") is params
+        finally:
+            unregister_mode("Unit-Test-Mode")
+        assert "Unit-Test-Mode" not in registered_modes()
+
     def test_resolve_mode_by_label_case_insensitive(self):
-        assert resolve_mode("Toleo") is ProtectionMode.TOLEO
-        assert resolve_mode("toleo") is ProtectionMode.TOLEO
-        assert resolve_mode("cif-tree") is ProtectionMode.CIF_TREE
-        assert resolve_mode("CLIENT_SGX") is ProtectionMode.CLIENT_SGX
+        assert resolve_mode("Toleo") == "Toleo"
+        assert resolve_mode("toleo") == "Toleo"
+        assert resolve_mode("cif-tree") == "CIF-Tree"
+        assert resolve_mode("CLIENT_SGX") == "Client-SGX"  # old enum-name spelling
+        assert resolve_mode("vault_tree") == "Vault-Tree"
+        assert resolve_mode("toleo-tree") == "Toleo+Tree"  # '+' folds like -/_
+        assert resolve_mode(ProtectionMode.TOLEO) == "Toleo"
+
+    def test_seed_modes_cannot_be_unregistered(self):
+        # The baseline runs in every suite and the deprecated enum delegates
+        # its capability flags here; removal would break both.
+        for label in (BASELINE_MODE, "Toleo", ProtectionMode.CI):
+            with pytest.raises(ValueError, match="cannot be unregistered"):
+                unregister_mode(label)
+            assert mode_label(label) in registered_modes()
 
     def test_resolve_unknown_mode_is_a_clean_error(self):
         with pytest.raises(UnknownModeError, match="unknown protection mode"):
             resolve_mode("nope")
 
+    def test_unknown_mode_error_lists_registered_labels(self):
+        with pytest.raises(UnknownModeError) as excinfo:
+            resolve_mode("nope")
+        message = excinfo.value.args[0]
+        for label in ("NoProtect", "Toleo", "CIF-Tree", "Vault-Tree", "Toleo+Tree"):
+            assert label in message
+
     def test_descriptions_present_for_cli_listing(self):
-        for mode in registered_modes():
-            assert mode_parameters(mode).description
+        for label in registered_modes():
+            assert mode_parameters(label).description
 
 
 class TestModeParameters:
-    def test_every_mode_has_parameters(self):
-        assert set(MODE_PARAMETERS) == set(ProtectionMode)
-
-    def test_parameter_consistency(self):
-        for mode, params in MODE_PARAMETERS.items():
-            assert params.mode is mode
-            assert params.mac_traffic == mode.has_integrity
-            assert params.aes_on_read == mode.encrypts
-            if mode is ProtectionMode.INVISIMEM:
+    def test_parameter_consistency_for_seed_modes(self):
+        for label in SEED_LABELS:
+            params = MODE_PARAMETERS[label]
+            if label == "InvisiMem":
                 assert isinstance(params.invisimem, InvisiMemModel)
             else:
                 assert params.invisimem is None
 
-    def test_only_toleo_has_stealth_traffic(self):
-        assert MODE_PARAMETERS[ProtectionMode.TOLEO].stealth_traffic
-        for mode in (ProtectionMode.NOPROTECT, ProtectionMode.CI, ProtectionMode.INVISIMEM):
-            assert not MODE_PARAMETERS[mode].stealth_traffic
+    def test_only_toleo_and_hybrid_have_stealth_traffic(self):
+        stealthy = {
+            label for label, params in MODE_PARAMETERS.items() if params.stealth_traffic
+        }
+        assert stealthy == {"Toleo", "Toleo+Tree"}
 
 
 class TestModeGroups:
+    def test_groups_are_plain_labels(self):
+        for group in (EVALUATED_MODES, LATENCY_MODES, FRESHNESS_MODES):
+            assert all(type(mode) is str for mode in group)
+
     def test_evaluated_modes_match_figure6(self):
+        assert EVALUATED_MODES == ("NoProtect", "CI", "Toleo", "InvisiMem")
+        # The deprecated enum members still compare equal to the labels.
         assert EVALUATED_MODES == (
             ProtectionMode.NOPROTECT,
             ProtectionMode.CI,
@@ -110,13 +243,11 @@ class TestModeGroups:
         )
 
     def test_latency_modes_include_c(self):
-        assert ProtectionMode.C in LATENCY_MODES
+        assert "C" in LATENCY_MODES
         assert len(LATENCY_MODES) == 5
 
     def test_freshness_modes_compare_toleo_to_tree_baselines(self):
-        assert FRESHNESS_MODES == (
-            ProtectionMode.NOPROTECT,
-            ProtectionMode.TOLEO,
-            ProtectionMode.CIF_TREE,
-            ProtectionMode.CLIENT_SGX,
-        )
+        assert FRESHNESS_MODES == ("NoProtect", "Toleo", "CIF-Tree", "Client-SGX")
+
+    def test_baseline_mode_is_registered_first(self):
+        assert registered_modes()[0] == BASELINE_MODE

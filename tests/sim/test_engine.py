@@ -94,7 +94,7 @@ class TestTrafficComposition:
     def test_only_invisimem_sends_dummy_traffic(self, bsw_results):
         for mode in EVALUATED_MODES:
             dummy = bsw_results[mode].traffic.dummy_bytes
-            if mode is ProtectionMode.INVISIMEM:
+            if mode == ProtectionMode.INVISIMEM:
                 assert dummy > 0
             else:
                 assert dummy == 0

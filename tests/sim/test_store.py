@@ -25,7 +25,7 @@ class TestContentKey:
     def test_every_parameter_matters(self):
         base = dict(
             benchmarks=["bsw"],
-            modes=[m.value for m in EVALUATED_MODES],
+            modes=list(EVALUATED_MODES),
             scale=0.002,
             num_accesses=4000,
             seed=1234,
@@ -99,6 +99,54 @@ class TestResultStore:
         store.path_for("k").write_text("{ not json")
         assert ResultStore(tmp_path).get("k", decoder=lambda p: p) is None
 
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        # A worker killed mid-write (or a full disk) can leave a prefix of
+        # the envelope behind; the store must recompute, not raise.
+        store = ResultStore(tmp_path)
+        store.put("k", {"x": 1}, encoder=lambda v: v)
+        full = store.path_for("k").read_text()
+        store.path_for("k").write_text(full[: len(full) // 2])
+        assert ResultStore(tmp_path).get("k", decoder=lambda p: p) is None
+
+    def test_non_dict_json_entry_is_a_miss(self, tmp_path):
+        # Valid JSON of the wrong shape used to escape the except clause via
+        # AttributeError on envelope.get(); it must be a miss like any other
+        # corruption.
+        store = ResultStore(tmp_path)
+        store.put("k", {"x": 1}, encoder=lambda v: v)
+        for garbage in ("[1, 2, 3]", '"a string"', "42", "null"):
+            store.path_for("k").write_text(garbage)
+            assert ResultStore(tmp_path).get("k", decoder=lambda p: p) is None
+
+    def test_wrong_payload_shape_is_a_miss(self, tmp_path):
+        # The envelope parses but the payload no longer matches the decoder's
+        # expectations (e.g. a hand-edited entry).
+        store = ResultStore(tmp_path)
+        store.put("k", {"x": 1}, encoder=lambda v: v)
+        envelope = json.loads(store.path_for("k").read_text())
+        envelope["payload"] = ["not", "a", "suite"]
+        store.path_for("k").write_text(json.dumps(envelope))
+
+        def strict_decoder(payload):
+            return payload["x"]  # TypeError on a list
+
+        assert ResultStore(tmp_path).get("k", decoder=strict_decoder) is None
+
+    def test_corrupted_suite_entry_recomputes(self, tmp_path):
+        # End to end: a corrupted on-disk suite entry behaves like a cold
+        # cache for run_benchmarks -- same results, one extra simulation.
+        store = ResultStore(tmp_path)
+        computed = run_benchmarks(("hyrise",), scale=0.002, num_accesses=4000, store=store)
+        (key,) = store.disk_keys()
+        store.path_for(key).write_text("{ truncated")
+        recomputed = run_benchmarks(
+            ("hyrise",), scale=0.002, num_accesses=4000, store=ResultStore(tmp_path)
+        )
+        for mode in computed["hyrise"]:
+            assert (
+                recomputed["hyrise"][mode].to_dict() == computed["hyrise"][mode].to_dict()
+            )
+
     def test_format_version_mismatch_is_a_miss(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put("k", {"x": 1}, encoder=lambda v: v)
@@ -144,7 +192,7 @@ class TestSuitePersistence:
             assert isinstance(b, SimulationResult)
             assert a.to_dict() == b.to_dict()
             assert a.slowdown == b.slowdown
-            assert b.mode is mode
+            assert b.mode == mode
 
     def test_loaded_suite_matches_fresh_simulation(self, tmp_path):
         store = ResultStore(tmp_path)
