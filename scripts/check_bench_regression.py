@@ -39,16 +39,30 @@ BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_
 #: counter-tree and Client-SGX baseline modes.
 GATED_MODES = EVALUATED_MODES + ("CIF-Tree", "Client-SGX")
 
-#: Pinned run parameters; changing any of these requires --update.
+#: Pinned run parameters; changing any of these requires --update.  The
+#: shard width forces 4 shards per (benchmark, mode) pair in the sharded
+#: pass, exercising at least 3 checkpoint handoffs per chain.
 SETTINGS = {
     "scale": 0.002,
     "num_accesses": 12_000,
     "seed": 1234,
     "modes": list(GATED_MODES),
+    "shard_size": 3_000,
 }
 
 
-def measure(jobs: int) -> dict:
+def _slowdowns(suite: dict) -> dict:
+    return {
+        bench: {
+            mode: round(result.slowdown, 6)
+            for mode, result in per_mode.items()
+            if mode != BASELINE_MODE
+        }
+        for bench, per_mode in suite.items()
+    }
+
+
+def measure(jobs: int, shard_size: int = 0) -> dict:
     """Current slowdown ratios for every (benchmark, gated mode) pair."""
     suite = run_benchmarks(
         QUICK_BENCHMARKS,
@@ -58,15 +72,9 @@ def measure(jobs: int) -> dict:
         seed=SETTINGS["seed"],
         use_cache=False,
         jobs=jobs,
+        shard_size=shard_size or None,
     )
-    slowdowns = {}
-    for bench, per_mode in suite.items():
-        slowdowns[bench] = {
-            mode: round(result.slowdown, 6)
-            for mode, result in per_mode.items()
-            if mode != BASELINE_MODE
-        }
-    return slowdowns
+    return _slowdowns(suite)
 
 
 def main() -> int:
@@ -87,11 +95,29 @@ def main() -> int:
     args = parser.parse_args()
 
     current = measure(args.jobs)
+    sharded = measure(args.jobs, shard_size=SETTINGS["shard_size"])
+
+    # The sharded pass uses the exact checkpoint-handoff discipline, so its
+    # ratios must match the unsharded run *identically* -- any difference is
+    # a sharding-path bug, gated before the baseline comparison even runs.
+    if sharded != current:
+        print("REGRESSION GATE FAILED: sharded run diverged from unsharded run")
+        for bench in sorted(set(current) | set(sharded)):
+            for mode in sorted(set(current.get(bench, {})) | set(sharded.get(bench, {}))):
+                a = current.get(bench, {}).get(mode)
+                b = sharded.get(bench, {}).get(mode)
+                if a != b:
+                    print(f"  - {bench}/{mode}: unsharded {a} vs sharded {b}")
+        return 1
 
     if args.update:
         with open(args.baseline, "w") as handle:
             json.dump(
-                {"settings": SETTINGS, "slowdowns": current},
+                {
+                    "settings": SETTINGS,
+                    "slowdowns": current,
+                    "sharded_slowdowns": sharded,
+                },
                 handle,
                 indent=2,
                 sort_keys=True,
@@ -112,27 +138,36 @@ def main() -> int:
         )
         return 2
 
-    recorded = baseline["slowdowns"]
     failures = []
-    print(f"{'benchmark':<12} {'mode':<10} {'baseline':>9} {'current':>9} {'drift':>8}")
-    for bench in sorted(set(recorded) | set(current)):
-        base_modes = recorded.get(bench, {})
-        cur_modes = current.get(bench, {})
-        for mode in sorted(set(base_modes) | set(cur_modes)):
-            base = base_modes.get(mode)
-            cur = cur_modes.get(mode)
-            if base is None or cur is None:
-                failures.append(f"{bench}/{mode}: present in only one of baseline/current")
-                continue
-            drift = (cur - base) / base
-            flag = ""
-            if abs(drift) > args.tolerance:
-                failures.append(
-                    f"{bench}/{mode}: slowdown {base:.4f} -> {cur:.4f} "
-                    f"({drift:+.1%} > ±{args.tolerance:.0%})"
-                )
-                flag = "  <-- FAIL"
-            print(f"{bench:<12} {mode:<10} {base:>9.4f} {cur:>9.4f} {drift:>+8.2%}{flag}")
+    sections = [("slowdowns", current), ("sharded_slowdowns", sharded)]
+    for section, measured in sections:
+        recorded = baseline.get(section)
+        if recorded is None:
+            failures.append(f"baseline has no {section!r} section; run with --update")
+            continue
+        print(f"[{section}]")
+        print(f"{'benchmark':<12} {'mode':<10} {'baseline':>9} {'current':>9} {'drift':>8}")
+        for bench in sorted(set(recorded) | set(measured)):
+            base_modes = recorded.get(bench, {})
+            cur_modes = measured.get(bench, {})
+            for mode in sorted(set(base_modes) | set(cur_modes)):
+                base = base_modes.get(mode)
+                cur = cur_modes.get(mode)
+                if base is None or cur is None:
+                    failures.append(
+                        f"{section}: {bench}/{mode}: present in only one of baseline/current"
+                    )
+                    continue
+                drift = (cur - base) / base
+                flag = ""
+                if abs(drift) > args.tolerance:
+                    failures.append(
+                        f"{section}: {bench}/{mode}: slowdown {base:.4f} -> {cur:.4f} "
+                        f"({drift:+.1%} > ±{args.tolerance:.0%})"
+                    )
+                    flag = "  <-- FAIL"
+                print(f"{bench:<12} {mode:<10} {base:>9.4f} {cur:>9.4f} {drift:>+8.2%}{flag}")
+        print()
 
     if failures:
         print(f"\nREGRESSION GATE FAILED ({len(failures)} ratios outside tolerance):")

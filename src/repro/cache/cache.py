@@ -104,6 +104,37 @@ class SetAssociativeCache:
         ]
         self.stats = CacheStats()
 
+    # -- serialization ------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle only the non-empty sets, as packed ``(tag, dirty, payload)``
+        rows keyed by set index.
+
+        A cache is checkpointed on every sharded-execution handoff, and the
+        natural form -- thousands of ``OrderedDict``s of :class:`_Line`
+        objects, most of them *empty* under a short or skewed trace --
+        dominates the pickle cost.  Rows keep the LRU order (dict iteration
+        order is the LRU order) at a fraction of the bytes, and empty sets
+        cost nothing at all.
+        """
+        state = self.__dict__.copy()
+        state["_sets"] = {
+            index: [(line.tag, line.dirty, line.payload) for line in line_set.values()]
+            for index, line_set in enumerate(self._sets)
+            if line_set
+        }
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        rows = state.pop("_sets")
+        self.__dict__.update(state)
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        for index, entries in rows.items():
+            self._sets[index] = OrderedDict(
+                (tag, _Line(tag=tag, dirty=dirty, payload=payload))
+                for tag, dirty, payload in entries
+            )
+
     # -- address helpers ----------------------------------------------------
 
     def _index_tag(self, address: int) -> Tuple[int, int]:

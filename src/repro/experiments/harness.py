@@ -32,6 +32,7 @@ from repro.core.trip import TripFormat
 from repro.sim.configs import EVALUATED_MODES, ModeLike
 from repro.sim.engine import EngineOptions, run_suite
 from repro.sim.parallel import parallel_map, run_suite_parallel
+from repro.sim.shard import ShardSpec, run_suite_sharded
 from repro.sim.results import (
     SuiteResults,
     decode_suite,
@@ -96,12 +97,21 @@ def run_benchmarks(
     options: Optional[EngineOptions] = None,
     jobs: Optional[int] = None,
     store: Optional[ResultStore] = None,
+    shard_size: Optional[int] = None,
+    shard_warmup: Optional[int] = None,
 ) -> SuiteResults:
     """Run (or fetch from the persistent store) the benchmark suite.
 
     ``jobs > 1`` distributes the (benchmark, mode) simulations over worker
     processes; the merged output is bit-identical to the serial run, so the
     cache key is deliberately independent of ``jobs``.
+
+    ``shard_size`` additionally splits every pair's trace into contiguous
+    shards (:mod:`repro.sim.shard`), unlocking parallelism *within* a long
+    trace.  The default checkpoint-handoff discipline is bit-identical to the
+    unsharded engine, so it shares the unsharded cache key; passing
+    ``shard_warmup`` selects the approximate independent-shard path, which is
+    keyed separately.
     """
     names = tuple(benchmarks) if benchmarks is not None else QUICK_BENCHMARKS
     if use_cache is None:
@@ -111,13 +121,40 @@ def run_benchmarks(
     if store is None:
         store = default_store()
 
-    key = suite_key(names, modes, scale, num_accesses, seed, config, options)
+    spec: Optional[ShardSpec] = None
+    if shard_size is not None:
+        spec = ShardSpec(shard_size=shard_size, warmup=shard_warmup)
+    elif shard_warmup is not None:
+        raise ValueError("shard_warmup needs shard_size (there is nothing to warm up)")
+
+    key = suite_key(
+        names,
+        modes,
+        scale,
+        num_accesses,
+        seed,
+        config,
+        options,
+        sharding=spec.key_fields() if spec is not None else None,
+    )
     if use_cache:
         cached = store.get(key, decoder=_decode_suite)
         if cached is not None:
             return cached
 
-    if jobs != 1:
+    if spec is not None:
+        results = run_suite_sharded(
+            names,
+            spec,
+            modes=modes,
+            scale=scale,
+            num_accesses=num_accesses,
+            seed=seed,
+            config=config,
+            options=options,
+            jobs=jobs,
+        )
+    elif jobs != 1:
         results = run_suite_parallel(
             names,
             modes=modes,

@@ -14,9 +14,10 @@ from repro.sim.configs import (
     resolve_mode,
     unregister_mode,
 )
-from repro.sim.engine import SimulationEngine, compare_modes, run_suite
+from repro.sim.engine import EngineState, SimulationEngine, compare_modes, run_suite
 from repro.sim.path import AccessContext, PathComponent, build_components
 from repro.sim.results import LatencyBreakdown, SimulationResult, TrafficBreakdown
+from repro.sim.shard import ShardSpec, run_sharded, run_suite_sharded
 from repro.sim.sweep import SweepAxis, SweepResult, run_sweep
 from repro.sim.variants import VARIANT_MODES
 
@@ -38,8 +39,12 @@ __all__ = [
     "LatencyBreakdown",
     "TrafficBreakdown",
     "SimulationEngine",
+    "EngineState",
     "compare_modes",
     "run_suite",
+    "ShardSpec",
+    "run_sharded",
+    "run_suite_sharded",
     "AccessContext",
     "PathComponent",
     "build_components",

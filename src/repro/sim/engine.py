@@ -25,6 +25,7 @@ CI metadata traffic than compute-bound ones -- the shape of Figure 6.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -60,6 +61,51 @@ class EngineOptions:
     #: Fraction of the MAC-block fetch latency that is exposed on the read
     #: critical path (the rest overlaps with the data fetch).
     integrity_overlap: float = 0.5
+
+
+@dataclass
+class EngineState:
+    """The complete mid-replay state of one simulation.
+
+    Everything the replay loop mutates lives here: the cache hierarchy, the
+    protection-path component stack (each component owning its caches, Toleo
+    device and RNG) and the shared :class:`AccessContext` whose rack memory
+    and traffic/latency accumulators the components charge into.  ``position``
+    is the global index of the next access to replay; ``num_accesses`` is the
+    full run length the state was begun with (component construction -- e.g.
+    the timeline sampling period -- depends on it, so resuming must preserve
+    it).
+
+    The state is plain picklable Python -- counters, dicts, seeded PRNGs --
+    which is what makes the sharded execution path exact: a serialized
+    checkpoint restored in another process and advanced over the next window
+    is *bit-identical* to never having stopped, because the accumulators
+    travel inside the state instead of being re-summed from per-shard deltas
+    (float addition is not associative; re-summing would drift in the last
+    bits).
+    """
+
+    hierarchy: CacheHierarchy
+    components: List[PathComponent]
+    ctx: AccessContext
+    llc_read_misses: int = 0
+    writebacks: int = 0
+    position: int = 0
+    num_accesses: int = 0
+
+    def serialize(self) -> bytes:
+        """Checkpoint this state as bytes (shard handoff across processes)."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "EngineState":
+        """Restore a checkpoint produced by :meth:`serialize`."""
+        state = pickle.loads(blob)
+        if not isinstance(state, cls):
+            raise TypeError(
+                f"checkpoint does not hold an EngineState (got {type(state).__name__})"
+            )
+        return state
 
 
 class SimulationEngine:
@@ -99,10 +145,18 @@ class SimulationEngine:
         baseline_time_ns: Optional[float] = None,
     ) -> SimulationResult:
         """Replay ``num_accesses`` of the workload (or captured trace)."""
-        cfg = self.config
+        state = self.begin(workload, num_accesses)
+        self.replay(state, workload)
+        return self.finish(state, workload, baseline_time_ns=baseline_time_ns)
 
-        hierarchy = CacheHierarchy(cfg)
-        rack = RackMemory(cfg)
+    # ------------------------------------------------------------------
+    # Resumable replay: begin / replay / finish
+    # ------------------------------------------------------------------
+
+    def begin(self, workload: Workload | Trace, num_accesses: int) -> EngineState:
+        """Build the fresh :class:`EngineState` a full ``num_accesses`` run
+        starts from (position 0, cold caches, zeroed accumulators)."""
+        cfg = self.config
         components = build_components(
             self.params,
             cfg,
@@ -112,16 +166,64 @@ class SimulationEngine:
             num_accesses=num_accesses,
         )
         ctx = AccessContext(
-            rack=rack,
+            rack=RackMemory(cfg),
             traffic=TrafficBreakdown(),
             latency=LatencyBreakdown(),
             config=cfg,
             options=self.options,
             footprint_bytes=workload.footprint_bytes,
         )
+        return EngineState(
+            hierarchy=CacheHierarchy(cfg),
+            components=components,
+            ctx=ctx,
+            num_accesses=num_accesses,
+        )
+
+    def replay(
+        self,
+        state: EngineState,
+        workload: Workload | Trace,
+        stop: Optional[int] = None,
+    ) -> EngineState:
+        """Advance ``state`` over accesses ``[state.position, stop)``.
+
+        ``workload`` supplies the access stream: resuming mid-trace
+        (``position > 0``) needs a :class:`Trace` (workload phase generators
+        cannot be fast-forwarded), whose :meth:`~Trace.window` is addressed in
+        *global* indices via its ``start_index``.  Replaying a window mutates
+        only ``state``, so ``replay(s, t, a); replay(s, t, b)`` is
+        bit-identical to ``replay(s, t, b)`` -- the invariant the sharded
+        execution path rests on.
+        """
+        stop = state.num_accesses if stop is None else stop
+        if not state.position <= stop <= state.num_accesses:
+            raise ValueError(
+                f"cannot replay window [{state.position}, {stop}) of a "
+                f"{state.num_accesses}-access run"
+            )
+        if state.position == stop:
+            return state
+        if isinstance(workload, Trace):
+            offset = workload.start_index
+            stream = workload.window(state.position - offset, stop - offset)
+        elif state.position == 0:
+            stream = workload.access_stream(stop)
+        else:
+            raise TypeError(
+                "resuming mid-trace needs a captured Trace; "
+                f"got {type(workload).__name__} at position {state.position}"
+            )
+
+        hierarchy = state.hierarchy
+        ctx = state.ctx
+        rack = ctx.rack
+        traffic = ctx.traffic
+        latency_sums = ctx.latency
 
         # Dispatch lists: only components that override a hook are called in
         # the replay loop, so a minimal mode pays for nothing it doesn't use.
+        components = state.components
         per_access = [
             c.on_access
             for c in components
@@ -138,17 +240,17 @@ class SimulationEngine:
             if type(c).on_writeback is not PathComponent.on_writeback
         ]
 
-        traffic = ctx.traffic
-        latency_sums = ctx.latency
-        llc_read_misses = 0
-        writebacks = 0
+        llc_read_misses = state.llc_read_misses
+        writebacks = state.writebacks
+        i = state.position
 
-        for i, (address, is_write) in enumerate(workload.access_stream(num_accesses)):
+        for address, is_write in stream:
             result = hierarchy.access(address, is_write)
             if per_access:
                 ctx.index = i
                 for hook in per_access:
                     hook(ctx)
+            i += 1
             if not result.llc_miss:
                 continue
 
@@ -174,27 +276,41 @@ class SimulationEngine:
                 for hook in on_writeback:
                     hook(ctx)
 
+        state.llc_read_misses = llc_read_misses
+        state.writebacks = writebacks
+        state.position = i
+        return state
+
+    def finish(
+        self,
+        state: EngineState,
+        workload: Workload | Trace,
+        baseline_time_ns: Optional[float] = None,
+    ) -> SimulationResult:
+        """Fold a fully-replayed state into its :class:`SimulationResult`."""
         instructions = workload.instruction_count(
-            num_accesses, llc_misses=hierarchy.l3.stats.misses
+            state.num_accesses, llc_misses=state.hierarchy.l3.stats.misses
         )
-        execution_time_ns = self._execution_time_ns(instructions, latency_sums, traffic)
-        latency = self._average_latency(latency_sums, llc_read_misses)
+        execution_time_ns = self._execution_time_ns(
+            instructions, state.ctx.latency, state.ctx.traffic
+        )
+        latency = self._average_latency(state.ctx.latency, state.llc_read_misses)
 
         # Telemetry fields contributed by components (MAC/stealth hit rates,
         # Trip format mix, Toleo usage/timeline); defaults cover their absence.
         measured: Dict[str, object] = {}
-        for component in components:
+        for component in state.components:
             measured.update(component.telemetry())
 
         return SimulationResult(
             workload=workload.name,
             mode=self.params.label,
             instructions=instructions,
-            accesses=num_accesses,
-            llc_misses=hierarchy.l3.stats.misses,
-            writebacks=writebacks,
+            accesses=state.num_accesses,
+            llc_misses=state.hierarchy.l3.stats.misses,
+            writebacks=state.writebacks,
             execution_time_ns=execution_time_ns,
-            traffic=traffic,
+            traffic=state.ctx.traffic,
             latency=latency,
             baseline_time_ns=baseline_time_ns,
             **measured,
@@ -330,4 +446,11 @@ def run_suite(
     return suite
 
 
-__all__ = ["SimulationEngine", "EngineOptions", "compare_modes", "ordered_modes", "run_suite"]
+__all__ = [
+    "EngineOptions",
+    "EngineState",
+    "SimulationEngine",
+    "compare_modes",
+    "ordered_modes",
+    "run_suite",
+]

@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+import threading
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
 from repro.sim.configs import (
@@ -76,6 +77,87 @@ def parallel_map(func: Callable, tasks: Sequence, jobs: Optional[int] = None) ->
         return [func(task) for task in tasks]
     with _pool_context().Pool(processes=jobs) as pool:
         return pool.map(func, tasks, chunksize=1)
+
+
+def pipelined_map(
+    func: Callable[[Any, Any], Any],
+    chains: Sequence[Sequence[Any]],
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """Run several sequential task chains concurrently over one worker pool.
+
+    Each chain is a list of tasks with a data dependency between consecutive
+    steps: ``func(task, carry)`` receives the previous step's return value as
+    ``carry`` (``None`` for the first step) and its return value is handed to
+    the next step.  Chains are independent of each other, so while step k of
+    one chain runs, other chains' steps run in parallel -- the pipelined shard
+    handoff: shard k of a (benchmark, mode) pair needs shard k-1's checkpoint,
+    but every *pair's* current shard occupies a worker simultaneously.
+
+    Steps are submitted with ``apply_async`` and the completion callback
+    immediately submits the chain's next step, so no barrier ever holds a
+    finished chain hostage to a slower one.  Returns the final carry of each
+    chain, in chain order; the serial fallback (one job or one chain's worth
+    of work) keeps a single in-process code path.
+    """
+    chains = [list(chain) for chain in chains]
+    total = sum(len(chain) for chain in chains)
+    jobs = min(resolve_jobs(jobs), max(1, len(chains)))
+    if jobs <= 1 or total <= 1:
+        finals: List[Any] = []
+        for chain in chains:
+            carry: Any = None
+            for task in chain:
+                carry = func(task, carry)
+            finals.append(carry)
+        return finals
+
+    finals = [None] * len(chains)
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+    done = threading.Event()
+    remaining = sum(1 for chain in chains if chain)
+
+    with _pool_context().Pool(processes=jobs) as pool:
+
+        def submit(chain_index: int, step_index: int, carry: Any) -> None:
+            pool.apply_async(
+                func,
+                (chains[chain_index][step_index], carry),
+                callback=lambda result: advance(chain_index, step_index, result),
+                error_callback=fail,
+            )
+
+        def advance(chain_index: int, step_index: int, result: Any) -> None:
+            # Runs on the pool's result-handler thread; submitting the next
+            # step from here is what keeps the pipeline barrier-free.
+            nonlocal remaining
+            with lock:
+                if errors:
+                    return
+                if step_index + 1 < len(chains[chain_index]):
+                    submit(chain_index, step_index + 1, result)
+                    return
+                finals[chain_index] = result
+                remaining -= 1
+                if remaining == 0:
+                    done.set()
+
+        def fail(error: BaseException) -> None:
+            with lock:
+                errors.append(error)
+            done.set()
+
+        with lock:
+            if remaining == 0:
+                done.set()
+            for chain_index, chain in enumerate(chains):
+                if chain:
+                    submit(chain_index, 0, None)
+        done.wait()
+        if errors:
+            raise errors[0]
+    return finals
 
 
 def _run_suite_task(task: SuiteTask) -> SimulationResult:
@@ -163,6 +245,7 @@ __all__ = [
     "SuiteTask",
     "merge_suite_results",
     "parallel_map",
+    "pipelined_map",
     "resolve_jobs",
     "run_suite_parallel",
     "suite_tasks",

@@ -1,0 +1,501 @@
+"""Sharded trace execution for tera-scale runs.
+
+The parallel substrate (PR 1) fans *whole* (benchmark, mode) simulations over
+worker processes, which caps a practical run at a few hundred thousand
+accesses per pair: one pair is always one serial replay.  This module splits
+a captured :class:`~repro.workloads.base.Trace` into contiguous shards and
+executes each pair as a *chain* of shard windows, so 10M+-access traces
+spread across the pool instead of monopolising one worker.
+
+Exactness is the design center.  The default path is **checkpointed
+handoff**: shard k starts from the serialized :class:`EngineState` produced
+by shard k-1's tail, so by induction the state after shard k equals the
+serial engine's state after the same prefix -- the merged result is
+*bit-identical* to an unsharded run (the accumulators travel inside the
+checkpoint; nothing is ever re-summed, so even float non-associativity
+cannot introduce drift).  Chains are sequential internally but independent
+of each other, and :func:`repro.sim.parallel.pipelined_map` keeps every
+pair's current shard on a worker simultaneously (pipelined handoff).
+
+Behind the explicit ``warmup`` knob (``repro bench --shard-warmup W``) shards
+instead start from a *warm-up replay* of the ``W`` accesses preceding their
+window and run fully independently -- one flat ``parallel_map`` task list,
+maximum fan-out, no handoff serialization.  That path is approximate (cold
+MAC/stealth/tree caches are only warmed, not reproduced) and is gated by the
+declared :data:`WARMUP_DRIFT_GATE`: the differential suite pins the merged
+execution time within the gate of the serial engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.sim.configs import (
+    BASELINE_MODE,
+    EVALUATED_MODES,
+    ModeLike,
+    ModeParameters,
+    mode_label,
+    mode_parameters,
+)
+from repro.sim.engine import (
+    EngineOptions,
+    EngineState,
+    SimulationEngine,
+    ordered_modes,
+)
+from repro.sim.parallel import parallel_map, pipelined_map
+from repro.sim.results import (
+    LatencyBreakdown,
+    SimulationResult,
+    SuiteResults,
+    TrafficBreakdown,
+)
+from repro.workloads.base import Trace
+
+#: Declared accuracy contract of the warm-up path: the merged execution time
+#: of a warm-up sharded run stays within this relative drift of the serial
+#: engine (pinned by ``tests/sim/test_sharding.py``).  The checkpointed
+#: default path needs no gate -- it is bit-identical by construction.
+WARMUP_DRIFT_GATE = 0.05
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """How to shard a run: the shard width and the handoff discipline.
+
+    ``warmup is None`` selects the exact checkpointed handoff (the default);
+    a non-negative ``warmup`` selects the approximate independent-shard path
+    where each shard warms its state on the ``warmup`` accesses preceding its
+    window.
+    """
+
+    shard_size: int
+    warmup: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.shard_size <= 0:
+            raise ValueError(f"shard_size must be positive, got {self.shard_size}")
+        if self.warmup is not None and self.warmup < 0:
+            raise ValueError(f"warmup must be non-negative, got {self.warmup}")
+
+    @property
+    def exact(self) -> bool:
+        return self.warmup is None
+
+    def key_fields(self) -> Optional[Dict[str, int]]:
+        """The store-key contribution of this spec.
+
+        The exact path returns ``None``: its results are bit-identical to the
+        unsharded engine, so sharded and unsharded runs *share* persistent
+        store entries (cached unsharded results stay valid).  Only the
+        approximate warm-up path changes the numbers and therefore the key.
+        """
+        if self.exact:
+            return None
+        return {"shard_size": self.shard_size, "warmup": self.warmup}
+
+
+def shard_bounds(total: int, shard_size: int) -> List[Tuple[int, int]]:
+    """Contiguous half-open windows covering ``[0, total)``.
+
+    The final window absorbs the remainder; ``shard_size >= total`` yields a
+    single full-length window.  Mirrors :meth:`Trace.shards`.
+    """
+    if total <= 0:
+        raise ValueError(f"total access count must be positive, got {total}")
+    if shard_size <= 0:
+        raise ValueError(f"shard_size must be positive, got {shard_size}")
+    return [
+        (start, min(start + shard_size, total)) for start in range(0, total, shard_size)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Worker bodies
+# ---------------------------------------------------------------------------
+
+#: One shard of one (benchmark, mode) pair: the suite task fields plus the
+#: shard window and (for the warm-up path) the warm-up length.  The resolved
+#: ModeParameters travel in the task for the same reason they do in
+#: ``SuiteTask``: runtime registrations must reach spawn-context workers.
+ShardTask = Tuple[
+    str,  # benchmark name
+    ModeParameters,
+    float,  # scale
+    int,  # num_accesses (full run length)
+    int,  # seed
+    Optional[SystemConfig],
+    Optional[EngineOptions],
+    int,  # window start
+    int,  # window stop
+    Optional[int],  # warmup (None on the exact path)
+]
+
+
+def _task_engine_and_trace(task: ShardTask) -> Tuple[SimulationEngine, Trace]:
+    """Worker-side setup shared by both shard disciplines.
+
+    Workers re-derive the full trace through the per-process memo
+    (``capture_trace``), so every shard of a benchmark landing on the same
+    worker shares one trace generation; only the checkpoint travels.
+    """
+    from repro.workloads.registry import capture_trace
+
+    name, params, scale, num_accesses, seed, config, options = task[:7]
+    trace = capture_trace(name, scale=scale, seed=seed, num_accesses=num_accesses)
+    engine = SimulationEngine(params, config=config, options=options, seed=seed)
+    return engine, trace
+
+
+def run_shard_step(task: ShardTask, carry: Optional[bytes]) -> Any:
+    """Exact-path worker: advance one pair's chain over one shard window.
+
+    ``carry`` is the previous shard's serialized checkpoint (``None`` for
+    shard 0, which begins from the cold state).  Intermediate shards return
+    the next checkpoint; the final shard returns the finished
+    :class:`SimulationResult` -- exactly what the serial engine would have
+    produced, because the state never diverged from it.
+    """
+    engine, trace = _task_engine_and_trace(task)
+    num_accesses, start, stop = task[3], task[7], task[8]
+    if carry is None:
+        state = engine.begin(trace, num_accesses)
+    else:
+        state = EngineState.deserialize(carry)
+    if state.position != start:
+        raise ValueError(
+            f"checkpoint resumes at access {state.position}, "
+            f"but this shard's window starts at {start}"
+        )
+    engine.replay(state, trace, stop=stop)
+    if stop >= num_accesses:
+        return engine.finish(state, trace)
+    return state.serialize()
+
+
+@dataclass
+class ShardCounters:
+    """One warm-up shard's counter deltas over its (post-warm-up) window."""
+
+    llc_misses: int
+    llc_read_misses: int
+    writebacks: int
+    traffic: TrafficBreakdown
+    latency: LatencyBreakdown
+    llc_mpki: float
+    instructions_per_access: float
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+
+
+def _warm_shard_counters(
+    engine: SimulationEngine,
+    trace: Trace,
+    num_accesses: int,
+    start: int,
+    stop: int,
+    warmup: int,
+) -> ShardCounters:
+    """Simulate one independent shard window and return its counter deltas.
+
+    The engine state is warmed by replaying the ``warmup`` accesses that
+    precede the window (global indices preserved, so timeline sampling points
+    stay aligned), then the window itself is replayed and only the deltas
+    over it are kept.
+    """
+    state = engine.begin(trace, num_accesses)
+    state.position = max(0, start - warmup)
+    engine.replay(state, trace, stop=start)
+
+    traffic_before = replace(state.ctx.traffic)
+    latency_before = replace(state.ctx.latency)
+    misses_before = state.hierarchy.l3.stats.misses
+    read_misses_before = state.llc_read_misses
+    writebacks_before = state.writebacks
+    warm_telemetry: Dict[str, Any] = {}
+    for component in state.components:
+        warm_telemetry.update(component.telemetry())
+    # Telemetry lists are live references into the components, so the warm
+    # sample count must be read *before* the measured replay appends to them.
+    warm_samples = len(warm_telemetry.get("toleo_usage_timeline", []))
+
+    engine.replay(state, trace, stop=stop)
+
+    telemetry: Dict[str, Any] = {}
+    for component in state.components:
+        telemetry.update(component.telemetry())
+    # The warm-up window covers indices the *previous* shard measures, so any
+    # samples it contributed to list-shaped telemetry (the Toleo usage
+    # timeline) would be duplicated by the merge's concatenation -- keep only
+    # the samples taken inside this shard's own window.
+    if warm_samples and "toleo_usage_timeline" in telemetry:
+        telemetry["toleo_usage_timeline"] = telemetry["toleo_usage_timeline"][
+            warm_samples:
+        ]
+    return ShardCounters(
+        llc_misses=state.hierarchy.l3.stats.misses - misses_before,
+        llc_read_misses=state.llc_read_misses - read_misses_before,
+        writebacks=state.writebacks - writebacks_before,
+        traffic=TrafficBreakdown(
+            **{
+                name: getattr(state.ctx.traffic, name) - getattr(traffic_before, name)
+                for name in state.ctx.traffic.to_dict()
+            }
+        ),
+        latency=LatencyBreakdown(
+            **{
+                name: getattr(state.ctx.latency, name) - getattr(latency_before, name)
+                for name in state.ctx.latency.to_dict()
+            }
+        ),
+        llc_mpki=trace.llc_mpki,
+        instructions_per_access=trace.instructions_per_access,
+        telemetry=telemetry,
+    )
+
+
+def run_warm_shard(task: ShardTask) -> ShardCounters:
+    """Warm-up-path worker: simulate one shard window independently.
+
+    No checkpoint crosses a process boundary, so all shards of all pairs run
+    as one flat ``parallel_map`` task list.
+    """
+    engine, trace = _task_engine_and_trace(task)
+    num_accesses, start, stop, warmup = task[3], task[7], task[8], task[9]
+    return _warm_shard_counters(engine, trace, num_accesses, start, stop, warmup or 0)
+
+
+def merge_warm_shards(
+    workload_name: str,
+    params: ModeParameters,
+    num_accesses: int,
+    shards: Sequence[ShardCounters],
+    config: Optional[SystemConfig] = None,
+    options: Optional[EngineOptions] = None,
+    seed: int = 0,
+) -> SimulationResult:
+    """Fold independent warm-up shard deltas into one :class:`SimulationResult`.
+
+    Counters sum; the instruction count is re-calibrated from the *summed*
+    miss count (exactly the serial formula); execution time is recomputed
+    through the same analytical model.  Ratio telemetry (cache hit rates) is
+    merged as a miss-weighted average and dict-shaped telemetry (Trip format
+    mix, Toleo usage, timeline) is concatenated or taken from the final
+    shard -- all approximations, which is why this path sits behind the
+    explicit warm-up knob and the :data:`WARMUP_DRIFT_GATE`.
+    """
+    if not shards:
+        raise ValueError("cannot merge zero shards")
+    traffic = TrafficBreakdown()
+    latency_sums = LatencyBreakdown()
+    llc_misses = llc_read_misses = writebacks = 0
+    for shard in shards:
+        for name in traffic.to_dict():
+            setattr(traffic, name, getattr(traffic, name) + getattr(shard.traffic, name))
+        for name in latency_sums.to_dict():
+            setattr(
+                latency_sums,
+                name,
+                getattr(latency_sums, name) + getattr(shard.latency, name),
+            )
+        llc_misses += shard.llc_misses
+        llc_read_misses += shard.llc_read_misses
+        writebacks += shard.writebacks
+
+    first = shards[0]
+    if llc_misses > 0 and first.llc_mpki > 0:
+        instructions = max(int(llc_misses * 1000.0 / first.llc_mpki), num_accesses)
+    else:
+        instructions = int(num_accesses * first.instructions_per_access)
+
+    engine = SimulationEngine(params, config=config, options=options, seed=seed)
+    execution_time_ns = engine._execution_time_ns(instructions, latency_sums, traffic)
+    latency = SimulationEngine._average_latency(latency_sums, llc_read_misses)
+
+    measured: Dict[str, Any] = {}
+    weights = [max(1, s.llc_read_misses + s.writebacks) for s in shards]
+    for rate_field in ("mac_cache_hit_rate", "stealth_cache_hit_rate"):
+        rated = [
+            (s.telemetry[rate_field], w)
+            for s, w in zip(shards, weights)
+            if rate_field in s.telemetry
+        ]
+        if rated:
+            total_weight = sum(w for _, w in rated)
+            measured[rate_field] = sum(r * w for r, w in rated) / total_weight
+    timeline = [
+        sample for s in shards for sample in s.telemetry.get("toleo_usage_timeline", [])
+    ]
+    if timeline:
+        measured["toleo_usage_timeline"] = timeline
+    for dict_field in ("trip_format_counts", "toleo_usage_bytes", "toleo_peak_bytes"):
+        if dict_field in shards[-1].telemetry:
+            measured[dict_field] = shards[-1].telemetry[dict_field]
+
+    return SimulationResult(
+        workload=workload_name,
+        mode=params.label,
+        instructions=instructions,
+        accesses=num_accesses,
+        llc_misses=llc_misses,
+        writebacks=writebacks,
+        execution_time_ns=execution_time_ns,
+        traffic=traffic,
+        latency=latency,
+        **measured,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Single-run and suite-level drivers
+# ---------------------------------------------------------------------------
+
+def shard_chain(
+    name: str,
+    mode: ModeLike,
+    spec: ShardSpec,
+    scale: float,
+    num_accesses: int,
+    seed: int,
+    config: Optional[SystemConfig] = None,
+    options: Optional[EngineOptions] = None,
+) -> List[ShardTask]:
+    """One (benchmark, mode) pair's shard tasks, in window order."""
+    params = mode_parameters(mode)
+    return [
+        (name, params, scale, num_accesses, seed, config, options, start, stop, spec.warmup)
+        for start, stop in shard_bounds(num_accesses, spec.shard_size)
+    ]
+
+
+def run_sharded(
+    mode: ModeLike,
+    trace: Trace,
+    spec: ShardSpec,
+    num_accesses: Optional[int] = None,
+    config: Optional[SystemConfig] = None,
+    options: Optional[EngineOptions] = None,
+    seed: int = 0,
+    baseline_time_ns: Optional[float] = None,
+) -> SimulationResult:
+    """Run one captured trace under one mode, shard by shard, in-process.
+
+    This is the single-pair core the differential tests pin: on the exact
+    path every handoff round-trips through ``serialize``/``deserialize`` (so
+    the in-process run exercises the same checkpoint machinery the pool path
+    ships between processes) and the result is bit-identical to
+    ``SimulationEngine.run`` on the same trace.
+    """
+    params = mode_parameters(mode)
+    total = len(trace) if num_accesses is None else num_accesses
+    engine = SimulationEngine(params, config=config, options=options, seed=seed)
+    bounds = shard_bounds(total, spec.shard_size)
+
+    if spec.exact:
+        carry: Optional[bytes] = None
+        state: Optional[EngineState] = None
+        for _, stop in bounds:
+            state = (
+                engine.begin(trace, total)
+                if carry is None
+                else EngineState.deserialize(carry)
+            )
+            engine.replay(state, trace, stop=stop)
+            if stop < total:
+                # n shards, n-1 handoffs: the final state finishes live, it
+                # is never shipped, so serializing it would be pure waste.
+                carry = state.serialize()
+        assert state is not None
+        return engine.finish(state, trace, baseline_time_ns=baseline_time_ns)
+
+    counters = [
+        _warm_shard_counters(engine, trace, total, start, stop, spec.warmup or 0)
+        for start, stop in bounds
+    ]
+    result = merge_warm_shards(
+        trace.name, params, total, counters, config=config, options=options, seed=seed
+    )
+    result.baseline_time_ns = baseline_time_ns
+    return result
+
+
+def run_suite_sharded(
+    benchmark_names: Iterable[str],
+    spec: ShardSpec,
+    modes: Sequence[ModeLike] = EVALUATED_MODES,
+    scale: float = 0.002,
+    num_accesses: int = 100_000,
+    seed: int = 1234,
+    config: Optional[SystemConfig] = None,
+    options: Optional[EngineOptions] = None,
+    jobs: Optional[int] = None,
+) -> SuiteResults:
+    """Run the benchmark suite with every (benchmark, mode) pair sharded.
+
+    Returns the same nested suite shape as
+    :func:`repro.sim.engine.run_suite` -- and on the exact path, the same
+    bits.  The exact path pipelines each pair's shard chain through
+    :func:`pipelined_map`; the warm-up path flattens all shards of all pairs
+    into one ``parallel_map`` list.
+    """
+    names = list(benchmark_names)
+    labels = ordered_modes(modes)
+    pairs = [(name, label) for name in names for label in labels]
+    chains = [
+        shard_chain(name, label, spec, scale, num_accesses, seed, config, options)
+        for name, label in pairs
+    ]
+
+    if spec.exact:
+        finals = pipelined_map(run_shard_step, chains, jobs=jobs)
+    else:
+        flat = [task for chain in chains for task in chain]
+        outcomes = parallel_map(run_warm_shard, flat, jobs=jobs)
+        finals = []
+        cursor = 0
+        for (name, label), chain in zip(pairs, chains):
+            shards = outcomes[cursor : cursor + len(chain)]
+            cursor += len(chain)
+            finals.append(
+                merge_warm_shards(
+                    name,
+                    mode_parameters(label),
+                    num_accesses,
+                    shards,
+                    config=config,
+                    options=options,
+                    seed=seed,
+                )
+            )
+
+    complete: SuiteResults = {}
+    for (name, label), result in zip(pairs, finals):
+        complete.setdefault(name, {})[label] = result
+
+    requested = {mode_label(mode) for mode in modes}
+    suite: SuiteResults = {}
+    for name, per_mode in complete.items():
+        baseline = per_mode[BASELINE_MODE].execution_time_ns
+        for result in per_mode.values():
+            result.baseline_time_ns = baseline
+        suite[name] = {
+            label: result for label, result in per_mode.items() if label in requested
+        }
+    return suite
+
+
+__all__ = [
+    "WARMUP_DRIFT_GATE",
+    "ShardCounters",
+    "ShardSpec",
+    "ShardTask",
+    "merge_warm_shards",
+    "run_shard_step",
+    "run_sharded",
+    "run_suite_sharded",
+    "run_warm_shard",
+    "shard_bounds",
+    "shard_chain",
+]

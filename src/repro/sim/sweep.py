@@ -39,10 +39,16 @@ from repro.sim.parallel import (
     suite_tasks,
 )
 from repro.sim.results import SuiteResults, decode_suite, encode_suite, suite_key
+from repro.sim.shard import ShardSpec, run_suite_sharded
 from repro.sim.store import ResultStore, default_store
 
 #: Axis keys that override run parameters rather than dataclass fields.
-RUN_AXES = ("scale", "accesses", "seed")
+#: ``shard_size`` makes the shard width a sweepable axis: every value is
+#: bit-identical in *results* (the exact checkpoint discipline), so sweeping
+#: it measures execution throughput, not model behaviour -- pair it with
+#: ``--no-cache``, or the identical store keys serve every later width from
+#: the first one's entry.
+RUN_AXES = ("scale", "accesses", "seed", "shard_size")
 
 _OPTION_FIELDS = {f.name for f in dataclasses.fields(EngineOptions)}
 _CONFIG_FIELDS = {f.name for f in dataclasses.fields(SystemConfig)}
@@ -148,6 +154,7 @@ class SweepPoint:
     seed: int
     config: Optional[SystemConfig]
     options: Optional[EngineOptions]
+    shard_size: Optional[int] = None
 
     @property
     def label(self) -> str:
@@ -163,6 +170,7 @@ def resolve_point(
     seed: int,
     config: Optional[SystemConfig],
     options: Optional[EngineOptions],
+    shard_size: Optional[int] = None,
 ) -> SweepPoint:
     """Apply one grid point's overrides to the base run description.
 
@@ -180,6 +188,12 @@ def resolve_point(
             num_accesses = _coerce(key, value, int)
         elif key == "seed":
             seed = _coerce(key, value, int)
+        elif key == "shard_size":
+            shard_size = _coerce(key, value, int)
+            if shard_size <= 0:
+                raise SweepAxisError(
+                    f"axis 'shard_size' needs positive values, got {value!r}"
+                )
         elif scope == "options":
             option_overrides[name] = _coerce_field(key, value, options or EngineOptions(), name)
         elif scope == "config":
@@ -198,6 +212,7 @@ def resolve_point(
         seed=seed,
         config=config,
         options=options,
+        shard_size=shard_size,
     )
 
 
@@ -241,6 +256,7 @@ def run_sweep(
     jobs: Optional[int] = None,
     use_cache: bool = True,
     store: Optional[ResultStore] = None,
+    shard_size: Optional[int] = None,
 ) -> SweepResult:
     """Run the full grid, fetching cached points and fanning out the rest.
 
@@ -248,6 +264,12 @@ def run_sweep(
     each point's simulations replay the same captured traces a serial
     :func:`repro.sim.engine.run_suite` would, and store-served points carry
     the exact payload a fresh simulation produces.
+
+    Points carrying a ``shard_size`` (from the base parameter or the
+    ``shard_size`` axis) run through the exact sharded runner
+    (:func:`repro.sim.shard.run_suite_sharded`): same results, same store
+    keys, but each pair's trace pipelines across the pool in shard-sized
+    steps instead of as one monolithic replay.
     """
     names = tuple(benchmarks)
     mode_order = tuple(mode_label(mode) for mode in modes)
@@ -261,7 +283,7 @@ def run_sweep(
             "give each --param key once with all its values"
         )
     points = [
-        resolve_point(overrides, scale, num_accesses, seed, config, options)
+        resolve_point(overrides, scale, num_accesses, seed, config, options, shard_size)
         for overrides in expand_grid(axes)
     ]
     if store is None:
@@ -280,12 +302,12 @@ def run_sweep(
                 suites[i] = cached
                 served[i] = True
 
-    # One flat task list across every uncached point: maximum fan-out width,
-    # one pool startup (the ROADMAP's parallel_map seam).
+    # One flat task list across every uncached unsharded point: maximum
+    # fan-out width, one pool startup (the ROADMAP's parallel_map seam).
     tasks: List[SuiteTask] = []
     slices: List[Tuple[int, int, int]] = []  # (point index, start, stop)
     for i, point in enumerate(points):
-        if suites[i] is not None:
+        if suites[i] is not None or point.shard_size is not None:
             continue
         point_tasks = suite_tasks(
             names,
@@ -306,6 +328,35 @@ def run_sweep(
             suites[i] = suite
             if use_cache:
                 store.put(keys[i], suite, encoder=encode_suite)
+
+    # Sharded points pipeline their shard chains over their own pool; their
+    # results (and store entries) are bit-identical to the unsharded path.
+    for i, point in enumerate(points):
+        if suites[i] is not None or point.shard_size is None:
+            continue
+        if use_cache:
+            # Exact sharding is key-invariant across shard widths, so an
+            # earlier grid point (sharded or not) may have just stored this
+            # point's suite -- the upfront lookup ran before any simulation.
+            cached = store.get(keys[i], decoder=decode_suite)
+            if cached is not None:
+                suites[i] = cached
+                served[i] = True
+                continue
+        suite = run_suite_sharded(
+            names,
+            ShardSpec(shard_size=point.shard_size),
+            modes=mode_order,
+            scale=point.scale,
+            num_accesses=point.num_accesses,
+            seed=point.seed,
+            config=point.config,
+            options=point.options,
+            jobs=jobs,
+        )
+        suites[i] = suite
+        if use_cache:
+            store.put(keys[i], suite, encoder=encode_suite)
 
     return SweepResult(
         benchmarks=names,

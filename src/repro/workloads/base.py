@@ -275,6 +275,11 @@ class Trace:
     workload RNG.  Replaying a trace is deterministic by construction: every
     protection mode sees exactly the same access sequence, which is what makes
     parallel (benchmark, mode) fan-out bit-identical to the serial run.
+
+    A trace can be cut into contiguous shards (:meth:`slice` / :meth:`shards`)
+    for the sharded execution path; ``start_index`` records where a shard
+    begins in its parent trace, so global access indices (timeline sampling)
+    and the instruction calibration stay consistent across shard boundaries.
     """
 
     name: str
@@ -285,6 +290,7 @@ class Trace:
     instructions_per_access: float
     addresses: array
     writes: bytearray
+    start_index: int = 0
 
     def __len__(self) -> int:
         return len(self.addresses)
@@ -292,6 +298,11 @@ class Trace:
     def access_stream(self, num_accesses: Optional[int] = None) -> Iterator[Tuple[int, bool]]:
         """Replay ``(address, is_write)`` pairs from the captured arrays."""
         count = len(self.addresses) if num_accesses is None else num_accesses
+        if count < 0:
+            raise ValueError(
+                f"trace for {self.name!r} cannot replay a negative access "
+                f"count ({count})"
+            )
         if count > len(self.addresses):
             raise ValueError(
                 f"trace for {self.name!r} holds {len(self.addresses)} accesses, "
@@ -302,17 +313,87 @@ class Trace:
         for i in range(count):
             yield addresses[i], bool(writes[i])
 
+    def window(self, start: int, stop: int) -> Iterator[Tuple[int, bool]]:
+        """Replay the half-open window ``[start, stop)`` of this trace.
+
+        Indices are relative to this trace's own arrays (a shard replays its
+        window of the *parent* trace by passing parent indices minus its
+        ``start_index``).  The sharded engine path streams windows directly so
+        resuming from a checkpoint never copies the packed arrays.
+        """
+        if not 0 <= start <= stop <= len(self.addresses):
+            raise ValueError(
+                f"window [{start}, {stop}) is outside trace for {self.name!r} "
+                f"({len(self.addresses)} accesses)"
+            )
+        addresses = self.addresses
+        writes = self.writes
+        for i in range(start, stop):
+            yield addresses[i], bool(writes[i])
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A new :class:`Trace` holding the non-empty window ``[start, stop)``.
+
+        The slice keeps the parent's identity and calibration metadata and
+        records ``start_index`` relative to the parent, so concatenating the
+        slices of a partition reproduces the parent access stream exactly and
+        per-slice instruction counts telescope to the parent's
+        (:meth:`instruction_count`).  Empty and out-of-range windows raise
+        ``ValueError`` -- a zero-length shard is always a planning bug.
+        """
+        if start < 0 or stop > len(self.addresses):
+            raise ValueError(
+                f"slice [{start}, {stop}) is outside trace for {self.name!r} "
+                f"({len(self.addresses)} accesses)"
+            )
+        if start >= stop:
+            raise ValueError(
+                f"slice [{start}, {stop}) of trace for {self.name!r} is empty"
+            )
+        return Trace(
+            name=self.name,
+            scale=self.scale,
+            seed=self.seed,
+            footprint_bytes=self.footprint_bytes,
+            llc_mpki=self.llc_mpki,
+            instructions_per_access=self.instructions_per_access,
+            addresses=self.addresses[start:stop],
+            writes=bytearray(self.writes[start:stop]),
+            start_index=self.start_index + start,
+        )
+
+    def shards(self, shard_size: int) -> Iterator["Trace"]:
+        """Cut the trace into contiguous shards of ``shard_size`` accesses.
+
+        The final shard absorbs the remainder (it may be shorter); a
+        ``shard_size`` at or beyond the trace length yields the single
+        full-length slice.  ``shard_size <= 0`` raises ``ValueError``.
+        """
+        if shard_size <= 0:
+            raise ValueError(f"shard_size must be positive, got {shard_size}")
+        for start in range(0, len(self.addresses), shard_size):
+            yield self.slice(start, min(start + shard_size, len(self.addresses)))
+
     def generate(self, num_accesses: Optional[int] = None) -> Iterator[MemoryAccess]:
         """Replay the trace as :class:`MemoryAccess` objects (compatibility)."""
         for address, is_write in self.access_stream(num_accesses):
             yield MemoryAccess(address=address, is_write=is_write)
 
     def instruction_count(self, num_accesses: int, llc_misses: Optional[int] = None) -> int:
-        """Identical calibration to :meth:`Workload.instruction_count`."""
+        """Identical calibration to :meth:`Workload.instruction_count`.
+
+        For a shard (``start_index > 0``) the uncalibrated fallback counts
+        the instructions of its global window ``[start_index, start_index +
+        num_accesses)``; the floor-difference form telescopes, so the shard
+        counts of a partition always sum to exactly the parent trace's count.
+        """
         if llc_misses is not None and self.llc_mpki > 0:
             calibrated = int(llc_misses * 1000.0 / self.llc_mpki)
             return max(calibrated, num_accesses)
-        return int(num_accesses * self.instructions_per_access)
+        start = self.start_index
+        return int((start + num_accesses) * self.instructions_per_access) - int(
+            start * self.instructions_per_access
+        )
 
 
 __all__ = [

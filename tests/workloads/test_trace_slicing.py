@@ -1,0 +1,152 @@
+"""Property-based tests for :class:`Trace` slicing invariants.
+
+The sharded execution path rests on three algebraic properties of trace
+slicing, checked here over hypothesis-generated traces rather than a few
+hand-picked examples:
+
+* concatenating the shards of any partition reproduces the parent access
+  stream exactly (no access lost, duplicated or reordered);
+* empty and out-of-range slice/shard requests raise ``ValueError`` instead
+  of silently yielding nothing;
+* the uncalibrated instruction count telescopes -- per-shard counts always
+  sum to exactly the parent trace's count, for any instructions-per-access
+  factor (the floor-difference form makes this exact, not approximate).
+"""
+
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.base import Trace
+
+
+def make_trace(accesses, instructions_per_access=3.0, start_index=0):
+    return Trace(
+        name="synthetic",
+        scale=1.0,
+        seed=0,
+        footprint_bytes=1 << 20,
+        llc_mpki=0.0,
+        instructions_per_access=instructions_per_access,
+        addresses=array("Q", (address for address, _ in accesses)),
+        writes=bytearray(1 if is_write else 0 for _, is_write in accesses),
+        start_index=start_index,
+    )
+
+
+accesses_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1 << 40), st.booleans()),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestShardConcatenation:
+    @given(accesses=accesses_strategy, shard_size=st.integers(1, 150))
+    @settings(max_examples=60)
+    def test_shards_reproduce_the_full_access_stream(self, accesses, shard_size):
+        trace = make_trace(accesses)
+        replayed = [
+            pair for shard in trace.shards(shard_size) for pair in shard.access_stream()
+        ]
+        assert replayed == list(trace.access_stream())
+
+    @given(accesses=accesses_strategy, shard_size=st.integers(1, 150))
+    @settings(max_examples=60)
+    def test_shards_partition_the_index_space(self, accesses, shard_size):
+        trace = make_trace(accesses)
+        shards = list(trace.shards(shard_size))
+        assert shards[0].start_index == 0
+        for previous, shard in zip(shards, shards[1:]):
+            assert shard.start_index == previous.start_index + len(previous)
+        assert sum(len(shard) for shard in shards) == len(trace)
+
+    @given(
+        accesses=accesses_strategy,
+        start=st.integers(0, 119),
+        stop=st.integers(1, 120),
+    )
+    @settings(max_examples=60)
+    def test_slice_matches_window(self, accesses, start, stop):
+        trace = make_trace(accesses)
+        start, stop = min(start, len(trace) - 1), min(stop, len(trace))
+        if start >= stop:
+            return
+        assert list(trace.slice(start, stop).access_stream()) == list(
+            trace.window(start, stop)
+        )
+
+
+class TestInvalidRequests:
+    @given(accesses=accesses_strategy, start=st.integers(0, 120))
+    @settings(max_examples=40)
+    def test_empty_slice_raises(self, accesses, start):
+        trace = make_trace(accesses)
+        start = min(start, len(trace))
+        with pytest.raises(ValueError, match="empty"):
+            trace.slice(start, start)
+
+    @given(accesses=accesses_strategy, overshoot=st.integers(1, 50))
+    @settings(max_examples=40)
+    def test_oversized_slice_raises(self, accesses, overshoot):
+        trace = make_trace(accesses)
+        with pytest.raises(ValueError, match="outside trace"):
+            trace.slice(0, len(trace) + overshoot)
+
+    def test_negative_slice_start_raises(self):
+        trace = make_trace([(64, False)] * 4)
+        with pytest.raises(ValueError, match="outside trace"):
+            trace.slice(-1, 2)
+
+    @pytest.mark.parametrize("bad", (0, -5))
+    def test_nonpositive_shard_size_raises(self, bad):
+        trace = make_trace([(64, False)] * 4)
+        with pytest.raises(ValueError, match="shard_size"):
+            list(trace.shards(bad))
+
+    @given(accesses=accesses_strategy, overshoot=st.integers(1, 50))
+    @settings(max_examples=40)
+    def test_oversized_replay_raises(self, accesses, overshoot):
+        trace = make_trace(accesses)
+        with pytest.raises(ValueError, match="cannot replay"):
+            list(trace.access_stream(len(trace) + overshoot))
+
+    def test_negative_replay_count_raises(self):
+        # Regression: a negative num_accesses used to fall through range()
+        # and silently replay nothing -- a zero-length "simulation" that
+        # looked successful.
+        trace = make_trace([(64, False), (128, True)])
+        with pytest.raises(ValueError, match="negative"):
+            list(trace.access_stream(-1))
+
+
+class TestInstructionCountTelescoping:
+    @given(
+        accesses=accesses_strategy,
+        shard_size=st.integers(1, 150),
+        ipa=st.floats(min_value=0.25, max_value=16.0, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_shard_counts_sum_to_parent_count(self, accesses, shard_size, ipa):
+        trace = make_trace(accesses, instructions_per_access=ipa)
+        total = trace.instruction_count(len(trace))
+        parts = [
+            shard.instruction_count(len(shard)) for shard in trace.shards(shard_size)
+        ]
+        assert sum(parts) == total
+
+    def test_full_trace_count_matches_workload_formula(self):
+        trace = make_trace([(64, False)] * 10, instructions_per_access=3.7)
+        assert trace.instruction_count(10) == int(10 * 3.7)
+
+    def test_calibrated_path_ignores_start_index(self):
+        # MPKI calibration is a whole-run property; a shard handed the full
+        # run's miss count must reproduce the serial formula exactly.
+        whole = make_trace([(64, False)] * 10)
+        part = make_trace([(64, False)] * 4, start_index=6)
+        whole.llc_mpki = part.llc_mpki = 2.0
+        assert part.instruction_count(10, llc_misses=40) == whole.instruction_count(
+            10, llc_misses=40
+        )
