@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Measure suite replay throughput, distilled vs. undistilled.
+
+Runs the benchmark suite twice with all registered protection modes against
+*fresh, cold* persistent stores -- once with miss-event distillation
+disabled (every mode replays every access through the cache hierarchy) and
+once with it enabled (the hierarchy is paid once per benchmark, modes replay
+from the distilled event stream) -- and emits the measured wall times,
+accesses/s and speedup as JSON (``BENCH_PR5.json`` by default).
+
+Both passes bypass the result cache and run against their own temporary
+store directory, so the numbers are honest cold-run figures: the distilled
+pass includes the cost of the pre-pass and of persisting the event streams.
+
+Usage:
+    python scripts/bench_throughput.py                    # quick suite
+    python scripts/bench_throughput.py --jobs 4 --accesses 20000
+    python scripts/bench_throughput.py --out BENCH_PR5.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.experiments.harness import QUICK_BENCHMARKS, run_benchmarks
+from repro.sim.configs import BASELINE_MODE, registered_modes
+from repro.sim.store import ResultStore, set_default_store
+
+
+def timed_pass(
+    benchmarks, modes, accesses: int, scale: float, seed: int, jobs: int, distill: bool
+) -> dict:
+    """One cold suite run against a fresh store; returns its measurements."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
+        store = ResultStore(cache_dir)
+        set_default_store(store)
+        try:
+            started = time.perf_counter()
+            suite = run_benchmarks(
+                benchmarks,
+                modes=modes,
+                scale=scale,
+                num_accesses=accesses,
+                seed=seed,
+                use_cache=False,
+                jobs=jobs,
+                store=store,
+                distill=distill,
+            )
+            elapsed = time.perf_counter() - started
+        finally:
+            set_default_store(None)
+    replayed = len(suite) * (len(modes) + 1) * accesses  # + NoProtect baseline
+    return {
+        "seconds": round(elapsed, 3),
+        "replayed_accesses": replayed,
+        "accesses_per_second": round(replayed / elapsed) if elapsed > 0 else 0,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmarks", nargs="+", default=list(QUICK_BENCHMARKS))
+    parser.add_argument("--accesses", type=int, default=20_000)
+    parser.add_argument("--scale", type=float, default=0.002)
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--jobs", "-j", type=int, default=4)
+    parser.add_argument("--out", default="BENCH_PR5.json")
+    args = parser.parse_args()
+
+    modes = tuple(m for m in registered_modes() if m != BASELINE_MODE)
+    undistilled = timed_pass(
+        args.benchmarks, modes, args.accesses, args.scale, args.seed, args.jobs, False
+    )
+    distilled = timed_pass(
+        args.benchmarks, modes, args.accesses, args.scale, args.seed, args.jobs, True
+    )
+
+    payload = {
+        "settings": {
+            "benchmarks": list(args.benchmarks),
+            "modes": list(modes),
+            "accesses": args.accesses,
+            "scale": args.scale,
+            "seed": args.seed,
+            "jobs": args.jobs,
+        },
+        "undistilled": undistilled,
+        "distilled": distilled,
+        "speedup": round(undistilled["seconds"] / distilled["seconds"], 2)
+        if distilled["seconds"] > 0
+        else 0.0,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(
+        f"\n{len(args.benchmarks)} benchmarks x {len(modes) + 1} modes x "
+        f"{args.accesses} accesses: "
+        f"{undistilled['seconds']:.2f}s -> {distilled['seconds']:.2f}s "
+        f"({payload['speedup']:.2f}x), written to {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

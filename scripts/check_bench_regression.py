@@ -62,7 +62,7 @@ def _slowdowns(suite: dict) -> dict:
     }
 
 
-def measure(jobs: int, shard_size: int = 0) -> dict:
+def measure(jobs: int, shard_size: int = 0, distill: bool = False) -> dict:
     """Current slowdown ratios for every (benchmark, gated mode) pair."""
     suite = run_benchmarks(
         QUICK_BENCHMARKS,
@@ -73,6 +73,7 @@ def measure(jobs: int, shard_size: int = 0) -> dict:
         use_cache=False,
         jobs=jobs,
         shard_size=shard_size or None,
+        distill=distill,
     )
     return _slowdowns(suite)
 
@@ -96,19 +97,22 @@ def main() -> int:
 
     current = measure(args.jobs)
     sharded = measure(args.jobs, shard_size=SETTINGS["shard_size"])
+    distilled = measure(args.jobs, distill=True)
 
-    # The sharded pass uses the exact checkpoint-handoff discipline, so its
-    # ratios must match the unsharded run *identically* -- any difference is
-    # a sharding-path bug, gated before the baseline comparison even runs.
-    if sharded != current:
-        print("REGRESSION GATE FAILED: sharded run diverged from unsharded run")
-        for bench in sorted(set(current) | set(sharded)):
-            for mode in sorted(set(current.get(bench, {})) | set(sharded.get(bench, {}))):
-                a = current.get(bench, {}).get(mode)
-                b = sharded.get(bench, {}).get(mode)
-                if a != b:
-                    print(f"  - {bench}/{mode}: unsharded {a} vs sharded {b}")
-        return 1
+    # The sharded pass uses the exact checkpoint-handoff discipline and the
+    # distilled pass replays every mode from the shared miss-event stream;
+    # both must match the plain run *identically* -- any difference is an
+    # execution-path bug, gated before the baseline comparison even runs.
+    for label, variant in (("sharded", sharded), ("distilled", distilled)):
+        if variant != current:
+            print(f"REGRESSION GATE FAILED: {label} run diverged from plain run")
+            for bench in sorted(set(current) | set(variant)):
+                for mode in sorted(set(current.get(bench, {})) | set(variant.get(bench, {}))):
+                    a = current.get(bench, {}).get(mode)
+                    b = variant.get(bench, {}).get(mode)
+                    if a != b:
+                        print(f"  - {bench}/{mode}: plain {a} vs {label} {b}")
+            return 1
 
     if args.update:
         with open(args.baseline, "w") as handle:
@@ -117,6 +121,7 @@ def main() -> int:
                     "settings": SETTINGS,
                     "slowdowns": current,
                     "sharded_slowdowns": sharded,
+                    "distilled_slowdowns": distilled,
                 },
                 handle,
                 indent=2,
@@ -139,7 +144,11 @@ def main() -> int:
         return 2
 
     failures = []
-    sections = [("slowdowns", current), ("sharded_slowdowns", sharded)]
+    sections = [
+        ("slowdowns", current),
+        ("sharded_slowdowns", sharded),
+        ("distilled_slowdowns", distilled),
+    ]
     for section, measured in sections:
         recorded = baseline.get(section)
         if recorded is None:

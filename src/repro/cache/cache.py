@@ -178,8 +178,8 @@ class SetAssociativeCache:
             self.stats.hits += 1
             return True, None
         self.stats.misses += 1
-        evicted = self._insert(idx, tag, dirty=is_write, payload=payload)
-        return False, evicted
+        victim = self._insert(idx, tag, dirty=is_write, payload=payload)
+        return False, victim.payload if victim is not None else None
 
     def fill(self, address: int, payload: Any = None, dirty: bool = False) -> Optional[Any]:
         """Insert a line without counting a hit or miss (refill path)."""
@@ -191,26 +191,60 @@ class SetAssociativeCache:
             line.dirty = line.dirty or dirty
             line_set.move_to_end(tag)
             return None
-        return self._insert(idx, tag, dirty=dirty, payload=payload)
+        victim = self._insert(idx, tag, dirty=dirty, payload=payload)
+        return victim.payload if victim is not None else None
 
-    def _insert(self, idx: int, tag: int, dirty: bool, payload: Any) -> Optional[Any]:
+    def fill_victim(
+        self, address: int, dirty: bool = False
+    ) -> Optional[Tuple[int, bool]]:
+        """Insert like :meth:`fill`, returning the victim's identity instead.
+
+        Returns ``(victim_address, victim_dirty)`` if the insertion evicted a
+        line, else ``None``.  The victim's block address is reconstructed from
+        its tag and set index, so callers tracking dirtiness in the line
+        itself (the L3's writeback path) need no per-line payload at all.
+        """
+        idx, tag = self._index_tag(address)
         line_set = self._sets[idx]
-        evicted_payload = None
+        if tag in line_set:
+            line = line_set[tag]
+            line.dirty = line.dirty or dirty
+            line_set.move_to_end(tag)
+            return None
+        victim = self._insert(idx, tag, dirty=dirty, payload=None)
+        if victim is None:
+            return None
+        return (victim.tag * self.num_sets + idx) * self.line_bytes, victim.dirty
+
+    def _insert(self, idx: int, tag: int, dirty: bool, payload: Any) -> Optional[_Line]:
+        line_set = self._sets[idx]
+        victim = None
         if len(line_set) >= self.ways:
             _, victim = line_set.popitem(last=False)
             self.stats.evictions += 1
             if victim.dirty:
                 self.stats.dirty_evictions += 1
-            evicted_payload = victim.payload
         line_set[tag] = _Line(tag=tag, dirty=dirty, payload=payload)
         self.stats.insertions += 1
-        return evicted_payload
+        return victim
 
     def peek(self, address: int) -> Optional[Any]:
         """Return the payload of a resident line without LRU/stat effects."""
         idx, tag = self._index_tag(address)
         line = self._sets[idx].get(tag)
         return line.payload if line is not None else None
+
+    def set_dirty(self, address: int) -> bool:
+        """Mark a resident line dirty without LRU or stat effects.
+
+        Returns True if the line was resident.
+        """
+        idx, tag = self._index_tag(address)
+        line = self._sets[idx].get(tag)
+        if line is None:
+            return False
+        line.dirty = True
+        return True
 
     def invalidate(self, address: int) -> bool:
         """Drop a line if present; returns True if it was resident."""

@@ -113,25 +113,27 @@ class CacheHierarchy:
         )
 
     def _fill_from_memory(self, block: int, is_write: bool) -> Optional[int]:
-        # Track dirty state in the L3 payload so dirty evictions are visible.
-        evicted = self.l3.fill(block, payload={"addr": block, "dirty": is_write})
+        # Dirtiness lives in the L3 line itself, so a fill needs no per-miss
+        # payload allocation and no peek-then-mutate round trip.
+        victim = self.l3.fill_victim(block, dirty=is_write)
         self.l2.fill(block)
         self.l1.fill(block, dirty=is_write)
-        if is_write:
-            payload = self.l3.peek(block)
-            if payload is not None:
-                payload["dirty"] = True
-        if isinstance(evicted, dict) and evicted.get("dirty"):
-            self.writebacks += 1
-            return int(evicted["addr"])
+        if victim is not None:
+            victim_address, victim_dirty = victim
+            if victim_dirty:
+                self.writebacks += 1
+                return victim_address
         return None
 
     def mark_dirty(self, address: int) -> None:
-        """Mark a resident L3 block dirty (used by write-allocate callers)."""
-        block = (address // self.config.l3_config.line_bytes) * self.config.l3_config.line_bytes
-        payload = self.l3.peek(block)
-        if payload is not None:
-            payload["dirty"] = True
+        """Mark a resident L3 block dirty (used by write-allocate callers).
+
+        Uses the same block alignment as :meth:`access` (the L1 line size),
+        so configurations with mixed line sizes cannot desynchronize the
+        address a block was filled under from the one it is dirtied under.
+        """
+        block = (address // self.config.l1_config.line_bytes) * self.config.l1_config.line_bytes
+        self.l3.set_dirty(block)
 
     # -- statistics ---------------------------------------------------------
 

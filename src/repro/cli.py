@@ -25,7 +25,11 @@ across invocations unless ``--no-cache`` is given.  ``sweep`` expands
 through the same parallel fan-out and persistent store.  ``--shard-size N``
 additionally splits each pair's trace into N-access shards pipelined across
 the workers (bit-identical checkpoint handoff by default; ``--shard-warmup``
-selects the approximate independent-shard path).
+selects the approximate independent-shard path).  Multi-mode runs pay the
+cache hierarchy once per benchmark by default -- a fast pre-pass distills
+the trace into a mode-independent miss-event stream that every mode replays
+from (bit-identical results; ``--no-distill`` forces the full per-access
+replay).
 """
 
 from __future__ import annotations
@@ -198,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
         "its window -- approximate (gated drift) but handoff-free; "
         "requires --shard-size (bench only)",
     )
+    parser.add_argument(
+        "--no-distill",
+        action="store_true",
+        help="disable miss-event distillation: replay every access of every "
+        "mode through the cache hierarchy instead of paying the hierarchy "
+        "once per benchmark (results are bit-identical either way)",
+    )
     return parser
 
 
@@ -257,6 +268,7 @@ def run_bench(args: argparse.Namespace) -> str:
         jobs=args.jobs,
         shard_size=args.shard_size,
         shard_warmup=args.shard_warmup,
+        distill=not args.no_distill,
     )
     elapsed = time.perf_counter() - started
 
@@ -284,7 +296,8 @@ def run_bench(args: argparse.Namespace) -> str:
         f"\n{len(suite)} benchmarks x {len(suite_modes)} modes, "
         f"{args.accesses} accesses @ scale {args.scale}, seed {args.seed}\n"
         f"wall time {elapsed:.2f}s, {throughput:,.0f} accesses/s "
-        f"(jobs={args.jobs}, cache={'off' if args.no_cache else 'on'}{sharding})\n"
+        f"(jobs={args.jobs}, cache={'off' if args.no_cache else 'on'}, "
+        f"distill={'off' if args.no_distill else 'on'}{sharding})\n"
     )
     return table + footer
 
@@ -315,6 +328,7 @@ def run_sweep_command(args: argparse.Namespace) -> str:
         jobs=args.jobs,
         use_cache=not args.no_cache,
         shard_size=args.shard_size,
+        distill=not args.no_distill,
     )
     elapsed = time.perf_counter() - started
 
@@ -333,12 +347,26 @@ def run_sweep_command(args: argparse.Namespace) -> str:
         title="Parameter sweep: slowdown vs NoProtect",
     )
     cached_points = len(result.points) - result.simulated_points
+    # Measured replay throughput, exactly as `repro bench` reports it: every
+    # simulated point replays all its benchmarks under the requested modes
+    # plus the NoProtect baseline; store-served points replay nothing (and so
+    # honestly inflate the rate).
+    pair_runs_per_point = len(result.benchmarks) * (
+        len(result.modes) + (1 if BASELINE_MODE not in result.modes else 0)
+    )
+    replayed_accesses = sum(
+        point.num_accesses * pair_runs_per_point
+        for point, cached in zip(result.points, result.served_from_store)
+        if not cached
+    )
+    throughput = replayed_accesses / elapsed if elapsed > 0 else 0.0
     footer = (
         f"\n{len(result.points)} grid points x {len(result.benchmarks)} benchmarks "
         f"x {len(result.modes)} modes ({result.simulated_points} simulated, "
         f"{cached_points} from store)\n"
-        f"wall time {elapsed:.2f}s (jobs={args.jobs}, "
-        f"cache={'off' if args.no_cache else 'on'})\n"
+        f"wall time {elapsed:.2f}s, {throughput:,.0f} accesses/s "
+        f"(jobs={args.jobs}, cache={'off' if args.no_cache else 'on'}, "
+        f"distill={'off' if args.no_distill else 'on'})\n"
     )
     return table + footer
 

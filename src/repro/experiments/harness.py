@@ -99,6 +99,7 @@ def run_benchmarks(
     store: Optional[ResultStore] = None,
     shard_size: Optional[int] = None,
     shard_warmup: Optional[int] = None,
+    distill: bool = True,
 ) -> SuiteResults:
     """Run (or fetch from the persistent store) the benchmark suite.
 
@@ -112,6 +113,14 @@ def run_benchmarks(
     unsharded engine, so it shares the unsharded cache key; passing
     ``shard_warmup`` selects the approximate independent-shard path, which is
     keyed separately.
+
+    ``distill`` (the default) pays each benchmark's cache hierarchy once per
+    run -- a fast pre-pass distills the trace into a mode-independent
+    miss-event stream (:mod:`repro.sim.distill`, persisted content-keyed by
+    trace + cache geometry) and every mode replays from the events alone.
+    Results are bit-identical to the undistilled engine, so the suite cache
+    key is deliberately independent of ``distill`` too: distilled and
+    undistilled runs serve each other's store entries.
     """
     names = tuple(benchmarks) if benchmarks is not None else QUICK_BENCHMARKS
     if use_cache is None:
@@ -153,6 +162,7 @@ def run_benchmarks(
             config=config,
             options=options,
             jobs=jobs,
+            distill=distill,
         )
     elif jobs != 1:
         results = run_suite_parallel(
@@ -164,6 +174,7 @@ def run_benchmarks(
             config=config,
             options=options,
             jobs=jobs,
+            distill=distill,
         )
     else:
         results = run_suite(
@@ -174,6 +185,7 @@ def run_benchmarks(
             seed=seed,
             config=config,
             options=options,
+            distill=distill,
         )
     if use_cache:
         store.put(key, results, encoder=_encode_suite)

@@ -14,6 +14,12 @@ from repro.sim.configs import (
     resolve_mode,
     unregister_mode,
 )
+from repro.sim.distill import (
+    HierarchyDistiller,
+    MissEventStream,
+    distilled_events,
+    events_key,
+)
 from repro.sim.engine import EngineState, SimulationEngine, compare_modes, run_suite
 from repro.sim.path import AccessContext, PathComponent, build_components
 from repro.sim.results import LatencyBreakdown, SimulationResult, TrafficBreakdown
@@ -45,6 +51,10 @@ __all__ = [
     "ShardSpec",
     "run_sharded",
     "run_suite_sharded",
+    "HierarchyDistiller",
+    "MissEventStream",
+    "distilled_events",
+    "events_key",
     "AccessContext",
     "PathComponent",
     "build_components",

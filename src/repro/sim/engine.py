@@ -25,7 +25,9 @@ CI metadata traffic than compute-bound ones -- the shape of Figure 6.
 
 from __future__ import annotations
 
+import heapq
 import pickle
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -40,6 +42,7 @@ from repro.sim.configs import (
     mode_label,
     mode_parameters,
 )
+from repro.sim.distill import WB_NONE, HierarchyDistiller, MissEventStream
 from repro.sim.path import AccessContext, PathComponent, build_components
 from repro.sim.results import LatencyBreakdown, SimulationResult, TrafficBreakdown
 from repro.workloads.base import Trace, Workload
@@ -281,6 +284,225 @@ class SimulationEngine:
         state.position = i
         return state
 
+    # ------------------------------------------------------------------
+    # Distilled event replay
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def distillable(components: Sequence[PathComponent]) -> bool:
+        """Whether a component stack can be driven from a miss-event stream.
+
+        True when every component that overrides ``on_access`` declares its
+        :attr:`~PathComponent.access_period`, so the event replay can re-fire
+        the hook at exactly the indices the full replay would.  Components
+        touched only at read misses and writebacks are always safe: cache
+        *hits* affect nothing outside the data hierarchy.
+        """
+        return all(
+            bool(getattr(component, "access_period", None))
+            for component in components
+            if type(component).on_access is not PathComponent.on_access
+        )
+
+    def replay_events(
+        self,
+        state: EngineState,
+        events: MissEventStream,
+        stop: Optional[int] = None,
+    ) -> EngineState:
+        """Advance ``state`` over ``[state.position, stop)`` from events alone.
+
+        ``events`` is the full-run :class:`MissEventStream` distilled from
+        the same trace under the same cache geometry.  The replay drives the
+        rack memory and the protection components through exactly the calls
+        the full per-access loop makes -- in the same order, so even float
+        accumulation is bit-identical -- while every cache hit costs nothing.
+        Index-periodic ``on_access`` telemetry fires at its recorded global
+        indices between events.
+
+        When the replay completes the run (``stop == num_accesses``) the
+        pre-pass hierarchy counters are folded into the state's (untouched)
+        hierarchy, so :meth:`finish` reads the same statistics a full replay
+        leaves behind.
+        """
+        stop = state.num_accesses if stop is None else stop
+        if not state.position <= stop <= state.num_accesses:
+            raise ValueError(
+                f"cannot replay window [{state.position}, {stop}) of a "
+                f"{state.num_accesses}-access run"
+            )
+        if events.start_index != 0 or events.num_accesses != state.num_accesses:
+            raise ValueError(
+                f"event stream covers [{events.start_index}, {events.stop_index}) "
+                f"but the run needs [0, {state.num_accesses})"
+            )
+        if state.position == stop:
+            return state
+
+        ctx = state.ctx
+        rack = ctx.rack
+        traffic = ctx.traffic
+        latency_sums = ctx.latency
+        components = state.components
+        on_read_miss = [
+            c.on_read_miss
+            for c in components
+            if type(c).on_read_miss is not PathComponent.on_read_miss
+        ]
+        on_writeback = [
+            c.on_writeback
+            for c in components
+            if type(c).on_writeback is not PathComponent.on_writeback
+        ]
+
+        # Periodic on_access telemetry: one lazy index stream per sampling
+        # component, merged in (index, stack order) -- the order the full
+        # replay fires them in.
+        def index_stream(first: int, period: int, order: int, hook):
+            return ((index, order, hook) for index in range(first, stop, period))
+
+        sampling = False
+        streams = []
+        for order, component in enumerate(components):
+            if type(component).on_access is PathComponent.on_access:
+                continue
+            period = getattr(component, "access_period", None)
+            if not period:
+                raise ValueError(
+                    f"{type(component).__name__} overrides on_access without "
+                    "declaring access_period; use the full replay instead"
+                )
+            sampling = True
+            first = -(-state.position // period) * period
+            streams.append(index_stream(first, period, order, component.on_access))
+        pending = heapq.merge(*streams)
+        next_sample = next(pending, None)
+
+        lo = bisect_left(events.indices, state.position)
+        hi = bisect_left(events.indices, stop)
+        window = zip(
+            events.indices[lo:hi],
+            events.addresses[lo:hi],
+            events.writes[lo:hi],
+            events.writeback_addresses[lo:hi],
+        )
+
+        llc_read_misses = state.llc_read_misses
+        writebacks = state.writebacks
+
+        # The engine's own rack traffic (the 64 B data fetch per miss and per
+        # writeback) is inlined rather than routed through rack.access():
+        # each device's latency is a constant and the page-to-device mapping
+        # is a fixed modulus, so the per-event work collapses to one integer
+        # test and one float add -- in the same order as the full replay, so
+        # the accumulated sums are bit-identical.  Device traffic counters
+        # are tallied in bulk below; components still call rack.access()
+        # themselves for their metadata fetches.
+        page_bytes = rack.config.toleo.page_bytes
+        cxl_period = rack._cxl_period
+        local_latency = rack.local.latency_ns
+        cxl_latency = rack.pool.latency_ns
+        local_reads = cxl_reads = local_writes = cxl_writes = 0
+        dram_ns_sum = latency_sums.dram_ns
+
+        for index, address, is_write, wb in window:
+            while next_sample is not None and next_sample[0] <= index:
+                ctx.index = next_sample[0]
+                next_sample[2](ctx)
+                next_sample = next(pending, None)
+            if sampling:
+                ctx.index = index
+
+            # ---- data fetch: common to every mode ---------------------------
+            ctx.address = address
+            ctx.is_write = bool(is_write)
+            if (address // page_bytes) % cxl_period == 0:
+                cxl_reads += 1
+                dram_ns_sum += cxl_latency
+            else:
+                local_reads += 1
+                dram_ns_sum += local_latency
+            traffic.data_bytes += CACHE_BLOCK_BYTES
+            llc_read_misses += 1
+            latency_sums.dram_ns = dram_ns_sum
+
+            # ---- protection path -------------------------------------------
+            for hook in on_read_miss:
+                hook(ctx)
+            dram_ns_sum = latency_sums.dram_ns
+
+            # ---- dirty writeback -------------------------------------------
+            if wb != WB_NONE:
+                writebacks += 1
+                ctx.address = wb
+                ctx.is_write = True
+                if (wb // page_bytes) % cxl_period == 0:
+                    cxl_writes += 1
+                else:
+                    local_writes += 1
+                traffic.data_bytes += CACHE_BLOCK_BYTES
+                for hook in on_writeback:
+                    hook(ctx)
+                dram_ns_sum = latency_sums.dram_ns
+
+        while next_sample is not None:
+            ctx.index = next_sample[0]
+            next_sample[2](ctx)
+            next_sample = next(pending, None)
+
+        latency_sums.dram_ns = dram_ns_sum
+        local_stats = rack.local.stats
+        local_stats.reads += local_reads
+        local_stats.writes += local_writes
+        local_stats.bytes_read += local_reads * CACHE_BLOCK_BYTES
+        local_stats.bytes_written += local_writes * CACHE_BLOCK_BYTES
+        pool_stats = rack.pool.stats
+        pool_stats.reads += cxl_reads
+        pool_stats.writes += cxl_writes
+        pool_stats.bytes_read += cxl_reads * CACHE_BLOCK_BYTES
+        pool_stats.bytes_written += cxl_writes * CACHE_BLOCK_BYTES
+
+        state.llc_read_misses = llc_read_misses
+        state.writebacks = writebacks
+        state.position = stop
+
+        if stop == state.num_accesses:
+            hierarchy = state.hierarchy
+            if hierarchy.l3.stats.accesses or hierarchy.l1.stats.accesses:
+                raise ValueError(
+                    "cannot fold pre-pass statistics into a hierarchy that "
+                    "already replayed accesses; do not mix replay() and "
+                    "replay_events() within one run"
+                )
+            for level, cache in (("l1", hierarchy.l1), ("l2", hierarchy.l2), ("l3", hierarchy.l3)):
+                cache.stats = cache.stats.merge(events.level_stats[level])
+            hierarchy.memory_accesses += events.memory_accesses
+            hierarchy.writebacks += events.hierarchy_writebacks
+        return state
+
+    def run_events(
+        self,
+        events: MissEventStream,
+        baseline_time_ns: Optional[float] = None,
+    ) -> SimulationResult:
+        """Run one simulation entirely from a distilled event stream.
+
+        The stream stands in for the trace (it carries the workload metadata
+        the engine reads), so a warm event store never regenerates the trace
+        at all.  Raises ``ValueError`` for modes whose component stack is not
+        :meth:`distillable` -- callers fall back to :meth:`run` on a trace.
+        """
+        if events.start_index != 0:
+            raise ValueError("run_events needs a full-run stream (start_index 0)")
+        state = self.begin(events, events.num_accesses)
+        if not self.distillable(state.components):
+            raise ValueError(
+                f"mode {self.params.label!r} has per-access hooks without a "
+                "declared access_period; replay it from the trace instead"
+            )
+        self.replay_events(state, events)
+        return self.finish(state, events, baseline_time_ns=baseline_time_ns)
+
     def finish(
         self,
         state: EngineState,
@@ -377,6 +599,7 @@ def compare_modes(
     options: Optional[EngineOptions] = None,
     seed: int = 0,
     reuse_trace: bool = True,
+    distill: bool = False,
 ) -> Dict[str, SimulationResult]:
     """Run one workload under several configurations with a shared baseline.
 
@@ -387,6 +610,14 @@ def compare_modes(
     slower but produces bit-identical results -- the equivalence is pinned by
     the simulator tests.
 
+    With ``distill`` the captured trace is additionally distilled into a
+    :class:`~repro.sim.distill.MissEventStream` once, and every mode whose
+    component stack supports it replays from the events alone
+    (:meth:`SimulationEngine.replay_events`) -- the data hierarchy is paid
+    once instead of once per mode, with bit-identical results.  The default
+    stays off so this function remains the undistilled reference the
+    differential tests compare against; the experiment harness turns it on.
+
     ``NOPROTECT`` always *runs* first (it provides the baseline time every
     other result's slowdown is reported against), but the returned dict
     contains only the requested modes -- the baseline result no longer leaks
@@ -396,16 +627,27 @@ def compare_modes(
     baseline_time: Optional[float] = None
 
     trace: Optional[Trace] = None
+    events: Optional[MissEventStream] = None
     if reuse_trace:
         trace = workload_factory().capture(num_accesses)
+        if distill:
+            events = HierarchyDistiller(config).distill(trace, num_accesses)
 
     requested = {mode_label(mode) for mode in modes}
     for mode in ordered_modes(modes):
         engine = SimulationEngine.from_mode(mode, config=config, options=options, seed=seed)
         subject = trace if trace is not None else workload_factory()
-        result = engine.run(
-            subject, num_accesses=num_accesses, baseline_time_ns=baseline_time
-        )
+        if events is not None:
+            state = engine.begin(events, num_accesses)
+            if engine.distillable(state.components):
+                engine.replay_events(state, events)
+            else:
+                engine.replay(state, subject)
+            result = engine.finish(state, subject, baseline_time_ns=baseline_time)
+        else:
+            result = engine.run(
+                subject, num_accesses=num_accesses, baseline_time_ns=baseline_time
+            )
         if mode == BASELINE_MODE:
             baseline_time = result.execution_time_ns
             result.baseline_time_ns = baseline_time
@@ -428,8 +670,14 @@ def run_suite(
     config: Optional[SystemConfig] = None,
     options: Optional[EngineOptions] = None,
     reuse_trace: bool = True,
+    distill: bool = False,
 ) -> Dict[str, Dict[str, SimulationResult]]:
-    """Run a list of named benchmarks under the requested configurations."""
+    """Run a list of named benchmarks under the requested configurations.
+
+    ``distill`` (off by default, so this stays the reference serial path the
+    golden fixtures regenerate from) pays each benchmark's cache hierarchy
+    once and replays the remaining modes from the distilled event stream.
+    """
     from repro.workloads.registry import get_workload
 
     suite: Dict[str, Dict[str, SimulationResult]] = {}
@@ -442,6 +690,7 @@ def run_suite(
             options=options,
             seed=seed,
             reuse_trace=reuse_trace,
+            distill=distill,
         )
     return suite
 

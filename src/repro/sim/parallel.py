@@ -47,7 +47,20 @@ from repro.sim.results import SimulationResult, SuiteResults
 #: so runtime registry customisations in the parent process reach workers
 #: even under the spawn start method, where workers re-import the package
 #: and would otherwise resolve modes against a fresh default registry.
-SuiteTask = Tuple[str, ModeParameters, float, int, int, Optional[SystemConfig], Optional[EngineOptions]]
+#: The trailing flag selects miss-event distillation: the worker replays the
+#: mode from the benchmark's distilled event stream (computed once per
+#: process and shared through the persistent store) instead of pushing every
+#: access through the cache hierarchy again -- bit-identical either way.
+SuiteTask = Tuple[
+    str,
+    ModeParameters,
+    float,
+    int,
+    int,
+    Optional[SystemConfig],
+    Optional[EngineOptions],
+    bool,
+]
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -161,12 +174,28 @@ def pipelined_map(
 
 
 def _run_suite_task(task: SuiteTask) -> SimulationResult:
-    """Worker body: simulate one (benchmark, mode) pair from its trace."""
+    """Worker body: simulate one (benchmark, mode) pair.
+
+    With distillation the worker fetches the benchmark's mode-independent
+    :class:`~repro.sim.distill.MissEventStream` (store memory layer within
+    the process, ``.repro_cache/`` across processes, one fast pre-pass on a
+    full miss) and replays the mode from the events alone; a served stream
+    never even regenerates the trace.  Modes whose components cannot be
+    event-driven fall back to the full per-access replay -- results are
+    bit-identical on both paths.
+    """
+    from repro.sim.distill import distilled_events
     from repro.workloads.registry import capture_trace
 
-    name, params, scale, num_accesses, seed, config, options = task
-    trace = capture_trace(name, scale=scale, seed=seed, num_accesses=num_accesses)
+    name, params, scale, num_accesses, seed, config, options, distill = task
     engine = SimulationEngine(params, config=config, options=options, seed=seed)
+    if distill:
+        events = distilled_events(name, scale, seed, num_accesses, config)
+        state = engine.begin(events, num_accesses)
+        if engine.distillable(state.components):
+            engine.replay_events(state, events)
+            return engine.finish(state, events)
+    trace = capture_trace(name, scale=scale, seed=seed, num_accesses=num_accesses)
     return engine.run(trace, num_accesses=num_accesses)
 
 
@@ -178,6 +207,7 @@ def suite_tasks(
     seed: int,
     config: Optional[SystemConfig] = None,
     options: Optional[EngineOptions] = None,
+    distill: bool = True,
 ) -> List[SuiteTask]:
     """Enumerate one suite's tasks benchmark-major, mode-minor (serial order).
 
@@ -185,7 +215,7 @@ def suite_tasks(
     provides the baseline time the merge stitches into every result.
     """
     return [
-        (name, mode_parameters(mode), scale, num_accesses, seed, config, options)
+        (name, mode_parameters(mode), scale, num_accesses, seed, config, options, distill)
         for name in names
         for mode in ordered_modes(modes)
     ]
@@ -227,15 +257,30 @@ def run_suite_parallel(
     config: Optional[SystemConfig] = None,
     options: Optional[EngineOptions] = None,
     jobs: Optional[int] = None,
+    distill: bool = True,
 ) -> SuiteResults:
     """Run the benchmark suite with (benchmark, mode) pairs fanned out.
 
     Returns exactly what :func:`repro.sim.engine.run_suite` returns -- same
     nesting, same iteration order, same numbers -- but with the independent
-    simulations spread over ``jobs`` worker processes.
+    simulations spread over ``jobs`` worker processes.  ``distill`` (the
+    default) replays each mode from the benchmark's shared miss-event stream
+    instead of re-simulating the cache hierarchy per mode; pass ``False`` to
+    force the full per-access replay (the results are identical).
     """
     names = list(benchmark_names)
-    tasks = suite_tasks(names, modes, scale, num_accesses, seed, config, options)
+    if distill:
+        # Pre-distill every benchmark's event stream in the parent, *before*
+        # the pool exists: forked workers inherit the store's memory layer and
+        # replay without capturing a trace or re-running the pre-pass (spawn
+        # workers read the entry back from disk).  Without this, the first
+        # wave of workers -- all landing on the same benchmark's modes --
+        # would each distill it concurrently.
+        from repro.sim.distill import distilled_events
+
+        for name in names:
+            distilled_events(name, scale, seed, num_accesses, config)
+    tasks = suite_tasks(names, modes, scale, num_accesses, seed, config, options, distill)
     results = parallel_map(_run_suite_task, tasks, jobs=jobs)
     return merge_suite_results(tasks, results, modes)
 

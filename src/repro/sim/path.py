@@ -95,6 +95,15 @@ class PathComponent:
     nothing in the replay loop.
     """
 
+    #: A component overriding :meth:`on_access` must declare the modulus at
+    #: which the hook actually does anything: ``on_access`` is a no-op except
+    #: at global access indices that are multiples of ``access_period``.
+    #: The distilled event-replay path uses the declared period to re-fire
+    #: the hook at exactly those indices between miss events; a component
+    #: that overrides ``on_access`` without declaring a period forces its
+    #: mode back onto the full per-access replay (exact, just slower).
+    access_period: Optional[int] = None
+
     def on_access(self, ctx: AccessContext) -> None:
         """Called for *every* access (hit or miss) -- telemetry sampling."""
 
@@ -168,6 +177,7 @@ class StealthFreshnessComponent(PathComponent):
         )
         self.stealth_cache = StealthVersionCache(config=config)
         self.sample_every = max(1, sample_every)
+        self.access_period = self.sample_every
         self.timeline: List[Dict[str, int]] = []
 
     def _format_of(self, page: int) -> TripFormat:

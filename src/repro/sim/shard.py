@@ -121,6 +121,8 @@ def shard_bounds(total: int, shard_size: int) -> List[Tuple[int, int]]:
 #: shard window and (for the warm-up path) the warm-up length.  The resolved
 #: ModeParameters travel in the task for the same reason they do in
 #: ``SuiteTask``: runtime registrations must reach spawn-context workers.
+#: The trailing flag selects miss-event distillation for the exact path
+#: (each window replays from the shared distilled event stream).
 ShardTask = Tuple[
     str,  # benchmark name
     ModeParameters,
@@ -132,6 +134,7 @@ ShardTask = Tuple[
     int,  # window start
     int,  # window stop
     Optional[int],  # warmup (None on the exact path)
+    bool,  # distill (exact path only)
 ]
 
 
@@ -158,11 +161,29 @@ def run_shard_step(task: ShardTask, carry: Optional[bytes]) -> Any:
     the next checkpoint; the final shard returns the finished
     :class:`SimulationResult` -- exactly what the serial engine would have
     produced, because the state never diverged from it.
+
+    With the task's distill flag set, each window replays from the
+    benchmark's shared :class:`~repro.sim.distill.MissEventStream` (one
+    hierarchy pre-pass per worker per benchmark, all modes and all shards of
+    a chain reuse it) instead of pushing the window's accesses through the
+    hierarchy again; modes that cannot be event-driven fall back to the full
+    replay.  Both paths produce the identical checkpoint sequence.
     """
-    engine, trace = _task_engine_and_trace(task)
-    num_accesses, start, stop = task[3], task[7], task[8]
+    from repro.sim.distill import distilled_events
+
+    name, params, scale, num_accesses, seed, config, options = task[:7]
+    start, stop, distill = task[7], task[8], task[10]
+    engine = SimulationEngine(params, config=config, options=options, seed=seed)
+
+    events = None
+    if distill:
+        events = distilled_events(name, scale, seed, num_accesses, config)
     if carry is None:
-        state = engine.begin(trace, num_accesses)
+        if events is not None:
+            state = engine.begin(events, num_accesses)
+        else:
+            _, trace = _task_engine_and_trace(task)
+            state = engine.begin(trace, num_accesses)
     else:
         state = EngineState.deserialize(carry)
     if state.position != start:
@@ -170,9 +191,15 @@ def run_shard_step(task: ShardTask, carry: Optional[bytes]) -> Any:
             f"checkpoint resumes at access {state.position}, "
             f"but this shard's window starts at {start}"
         )
-    engine.replay(state, trace, stop=stop)
+    if events is not None and engine.distillable(state.components):
+        engine.replay_events(state, events, stop=stop)
+        subject: Any = events
+    else:
+        _, trace = _task_engine_and_trace(task)
+        engine.replay(state, trace, stop=stop)
+        subject = trace
     if stop >= num_accesses:
-        return engine.finish(state, trace)
+        return engine.finish(state, subject)
     return state.serialize()
 
 
@@ -361,11 +388,25 @@ def shard_chain(
     seed: int,
     config: Optional[SystemConfig] = None,
     options: Optional[EngineOptions] = None,
+    distill: bool = False,
 ) -> List[ShardTask]:
     """One (benchmark, mode) pair's shard tasks, in window order."""
     params = mode_parameters(mode)
+    exact_distill = distill and spec.exact
     return [
-        (name, params, scale, num_accesses, seed, config, options, start, stop, spec.warmup)
+        (
+            name,
+            params,
+            scale,
+            num_accesses,
+            seed,
+            config,
+            options,
+            start,
+            stop,
+            spec.warmup,
+            exact_distill,
+        )
         for start, stop in shard_bounds(num_accesses, spec.shard_size)
     ]
 
@@ -379,6 +420,7 @@ def run_sharded(
     options: Optional[EngineOptions] = None,
     seed: int = 0,
     baseline_time_ns: Optional[float] = None,
+    distill: bool = False,
 ) -> SimulationResult:
     """Run one captured trace under one mode, shard by shard, in-process.
 
@@ -386,14 +428,19 @@ def run_sharded(
     path every handoff round-trips through ``serialize``/``deserialize`` (so
     the in-process run exercises the same checkpoint machinery the pool path
     ships between processes) and the result is bit-identical to
-    ``SimulationEngine.run`` on the same trace.
+    ``SimulationEngine.run`` on the same trace.  ``distill`` additionally
+    routes every distillable window through the event-replay path -- same
+    checkpoints, same result, one hierarchy pass total.
     """
+    from repro.sim.distill import HierarchyDistiller
+
     params = mode_parameters(mode)
     total = len(trace) if num_accesses is None else num_accesses
     engine = SimulationEngine(params, config=config, options=options, seed=seed)
     bounds = shard_bounds(total, spec.shard_size)
 
     if spec.exact:
+        events = HierarchyDistiller(config).distill(trace, total) if distill else None
         carry: Optional[bytes] = None
         state: Optional[EngineState] = None
         for _, stop in bounds:
@@ -402,7 +449,10 @@ def run_sharded(
                 if carry is None
                 else EngineState.deserialize(carry)
             )
-            engine.replay(state, trace, stop=stop)
+            if events is not None and engine.distillable(state.components):
+                engine.replay_events(state, events, stop=stop)
+            else:
+                engine.replay(state, trace, stop=stop)
             if stop < total:
                 # n shards, n-1 handoffs: the final state finishes live, it
                 # is never shipped, so serializing it would be pure waste.
@@ -431,20 +481,30 @@ def run_suite_sharded(
     config: Optional[SystemConfig] = None,
     options: Optional[EngineOptions] = None,
     jobs: Optional[int] = None,
+    distill: bool = True,
 ) -> SuiteResults:
     """Run the benchmark suite with every (benchmark, mode) pair sharded.
 
     Returns the same nested suite shape as
     :func:`repro.sim.engine.run_suite` -- and on the exact path, the same
     bits.  The exact path pipelines each pair's shard chain through
-    :func:`pipelined_map`; the warm-up path flattens all shards of all pairs
-    into one ``parallel_map`` list.
+    :func:`pipelined_map`, with ``distill`` (the default) replaying each
+    window from the benchmark's shared miss-event stream; the warm-up path
+    flattens all shards of all pairs into one ``parallel_map`` list (it
+    never distills -- its approximation lives in the warm-up replay itself).
     """
     names = list(benchmark_names)
+    if distill and spec.exact:
+        # Pre-distill in the parent so forked workers inherit the streams
+        # through the store's memory layer (see run_suite_parallel).
+        from repro.sim.distill import distilled_events
+
+        for name in names:
+            distilled_events(name, scale, seed, num_accesses, config)
     labels = ordered_modes(modes)
     pairs = [(name, label) for name in names for label in labels]
     chains = [
-        shard_chain(name, label, spec, scale, num_accesses, seed, config, options)
+        shard_chain(name, label, spec, scale, num_accesses, seed, config, options, distill)
         for name, label in pairs
     ]
 

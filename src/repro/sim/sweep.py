@@ -257,6 +257,7 @@ def run_sweep(
     use_cache: bool = True,
     store: Optional[ResultStore] = None,
     shard_size: Optional[int] = None,
+    distill: bool = True,
 ) -> SweepResult:
     """Run the full grid, fetching cached points and fanning out the rest.
 
@@ -317,11 +318,25 @@ def run_sweep(
             point.seed,
             point.config,
             point.options,
+            distill,
         )
         slices.append((i, len(tasks), len(tasks) + len(point_tasks)))
         tasks.extend(point_tasks)
 
     if tasks:
+        if distill:
+            # Pre-distill each uncached point's benchmarks in the parent so
+            # forked workers inherit the streams (see run_suite_parallel);
+            # repeated (trace, geometry) combinations dedupe through the
+            # store's memory layer.
+            from repro.sim.distill import distilled_events
+
+            for i, _, _ in slices:
+                point = points[i]
+                for name in names:
+                    distilled_events(
+                        name, point.scale, point.seed, point.num_accesses, point.config
+                    )
         results = parallel_map(_run_suite_task, tasks, jobs=jobs)
         for i, start, stop in slices:
             suite = merge_suite_results(tasks[start:stop], results[start:stop], mode_order)
@@ -353,6 +368,7 @@ def run_sweep(
             config=point.config,
             options=point.options,
             jobs=jobs,
+            distill=distill,
         )
         suites[i] = suite
         if use_cache:

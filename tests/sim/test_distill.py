@@ -1,0 +1,491 @@
+"""Differential and property tests for miss-event distillation.
+
+The design center of :mod:`repro.sim.distill` is *exactness*: the distilled
+event-replay path must be bit-identical to the full per-access engine for
+every registered mode, unsharded and at every shard width, and the fast
+pre-pass must agree with :class:`repro.cache.hierarchy.CacheHierarchy` in
+every counter.  Results are compared through ``SimulationResult.to_dict()``
+-- floats included, no tolerance -- extending the PR 4 sharding harness.
+"""
+
+import dataclasses
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim  # noqa: F401  -- registers the variant modes
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.config import KIB, CacheConfig, SystemConfig
+from repro.sim.configs import registered_modes
+from repro.sim.distill import (
+    WB_NONE,
+    HierarchyDistiller,
+    MissEventStream,
+    distilled_events,
+    events_key,
+)
+from repro.sim.engine import SimulationEngine, run_suite
+from repro.sim.path import PathComponent, StealthFreshnessComponent
+from repro.sim.shard import ShardSpec, run_sharded, run_suite_sharded
+from repro.sim.store import ResultStore
+from repro.workloads.base import Trace
+from repro.workloads.registry import get_workload
+
+#: Same down-scaled geometry as the sharding matrix: small caches make
+#: evictions (and therefore writeback events) frequent on short traces.
+SMALL_CONFIG = dataclasses.replace(
+    SystemConfig(),
+    l1_config=CacheConfig("L1", 8 * KIB, 4, latency_cycles=4),
+    l2_config=CacheConfig("L2", 64 * KIB, 8, latency_cycles=14),
+    l3_config=CacheConfig("L3", 256 * KIB, 8, latency_cycles=49),
+    mac_cache_bytes=64 * KIB,
+)
+
+TRACE_LEN = 260
+
+#: The issue's shard widths: degenerate, prime-and-tiny, a clean halving and
+#: the whole trace in one window.
+SHARD_SIZES = (1, 7, TRACE_LEN // 2, TRACE_LEN)
+
+ALL_MODES = registered_modes()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_workload("memcached", scale=0.002, seed=7).capture(TRACE_LEN)
+
+
+@pytest.fixture(scope="module")
+def events(trace):
+    return HierarchyDistiller(SMALL_CONFIG).distill(trace)
+
+
+@pytest.fixture(scope="module")
+def serial_results(trace):
+    """The full per-access engine's result per mode (the ground truth)."""
+    return {
+        mode: SimulationEngine.from_mode(mode, config=SMALL_CONFIG, seed=7).run(
+            trace, num_accesses=TRACE_LEN
+        )
+        for mode in ALL_MODES
+    }
+
+
+def synthetic_trace(addresses, writes) -> Trace:
+    return Trace(
+        name="synthetic",
+        scale=1.0,
+        seed=0,
+        footprint_bytes=1 << 20,
+        llc_mpki=1.0,
+        instructions_per_access=3.0,
+        addresses=array("Q", addresses),
+        writes=bytearray(writes),
+    )
+
+
+def reference_events(trace, config):
+    """Ground truth: the real CacheHierarchy, access by access."""
+    hierarchy = CacheHierarchy(config)
+    recorded = []
+    for i, (address, is_write) in enumerate(trace.access_stream()):
+        result = hierarchy.access(address, is_write)
+        if result.llc_miss:
+            recorded.append((i, address, bool(is_write), result.writeback_address))
+    return hierarchy, recorded
+
+
+class TestDistilledReplayIsBitIdentical:
+    """Event replay == full replay, for every mode, at every shard width."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_unsharded_event_replay_matches_serial(self, mode, events, serial_results):
+        distilled = SimulationEngine.from_mode(
+            mode, config=SMALL_CONFIG, seed=7
+        ).run_events(events)
+        assert distilled.to_dict() == serial_results[mode].to_dict()
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_every_shard_width_matches_serial(self, mode, trace, serial_results):
+        serial = serial_results[mode].to_dict()
+        for shard_size in SHARD_SIZES:
+            sharded = run_sharded(
+                mode,
+                trace,
+                ShardSpec(shard_size),
+                config=SMALL_CONFIG,
+                seed=7,
+                distill=True,
+            )
+            assert sharded.to_dict() == serial, f"shard_size={shard_size}"
+
+    def test_default_config_matches_serial(self):
+        # One mode at the real (Table 3) geometry, so the scaled matrix
+        # config cannot mask a geometry-dependent divergence.
+        trace = get_workload("bsw", scale=0.002, seed=3).capture(2000)
+        serial = SimulationEngine.from_mode("Toleo", seed=3).run(trace, num_accesses=2000)
+        events = HierarchyDistiller(None).distill(trace)
+        distilled = SimulationEngine.from_mode("Toleo", seed=3).run_events(events)
+        assert distilled.to_dict() == serial.to_dict()
+
+    def test_suite_pipelines_distilled_through_the_pool(self):
+        names, modes = ("bsw", "memcached"), ("CI", "Toleo")
+        serial = run_suite(names, modes=modes, num_accesses=2000)
+        distilled = run_suite_sharded(
+            names, ShardSpec(600), modes=modes, num_accesses=2000, jobs=2, distill=True
+        )
+        assert {
+            bench: {mode: result.to_dict() for mode, result in per_mode.items()}
+            for bench, per_mode in distilled.items()
+        } == {
+            bench: {mode: result.to_dict() for mode, result in per_mode.items()}
+            for bench, per_mode in serial.items()
+        }
+
+
+class TestDistillerMatchesCacheHierarchy:
+    """The rewritten pre-pass agrees with the reference model, counter for
+    counter, on real benchmark traces."""
+
+    @pytest.mark.parametrize("name", ("bsw", "pr", "memcached"))
+    @pytest.mark.parametrize("config", (None, SMALL_CONFIG), ids=("table3", "small"))
+    def test_events_and_stats_match(self, name, config):
+        trace = get_workload(name, scale=0.002, seed=11).capture(3000)
+        resolved = config if config is not None else SystemConfig()
+        hierarchy, expected = reference_events(trace, resolved)
+        stream = HierarchyDistiller(config).distill(trace)
+        stream.validate()
+        assert list(stream.events()) == expected
+        for level, cache in (("l1", hierarchy.l1), ("l2", hierarchy.l2), ("l3", hierarchy.l3)):
+            assert vars(stream.level_stats[level]) == vars(cache.stats), level
+        assert stream.memory_accesses == hierarchy.memory_accesses
+        assert stream.hierarchy_writebacks == hierarchy.writebacks
+
+    def test_distill_requires_fresh_distiller(self, trace):
+        distiller = HierarchyDistiller(SMALL_CONFIG)
+        distiller.advance(trace, 0, 10)
+        with pytest.raises(ValueError, match="fresh distiller"):
+            distiller.distill(trace)
+
+    def test_advance_rejects_non_contiguous_window(self, trace):
+        distiller = HierarchyDistiller(SMALL_CONFIG)
+        distiller.advance(trace, 0, 10)
+        with pytest.raises(ValueError, match="cannot advance from"):
+            distiller.advance(trace, 20, 30)
+
+
+#: Random access streams over a small region: addresses within 64 KiB keep
+#: the tiny geometry's sets contended, so evictions and writebacks occur.
+ACCESS_STRATEGY = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1023), st.booleans()),
+    min_size=1,
+    max_size=300,
+)
+
+TINY_CONFIG = dataclasses.replace(
+    SystemConfig(),
+    l1_config=CacheConfig("L1", 1 * KIB, 2, latency_cycles=4),
+    l2_config=CacheConfig("L2", 2 * KIB, 2, latency_cycles=14),
+    l3_config=CacheConfig("L3", 4 * KIB, 2, latency_cycles=49),
+)
+
+
+class TestStreamProperties:
+    """Hypothesis property tests for the MissEventStream invariants."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(accesses=ACCESS_STRATEGY)
+    def test_distillation_matches_reference_on_random_streams(self, accesses):
+        trace = synthetic_trace(
+            (block * 64 for block, _ in accesses),
+            (1 if write else 0 for _, write in accesses),
+        )
+        hierarchy, expected = reference_events(trace, TINY_CONFIG)
+        stream = HierarchyDistiller(TINY_CONFIG).distill(trace)
+        stream.validate()
+        assert list(stream.events()) == expected
+        assert vars(stream.level_stats["l3"]) == vars(hierarchy.l3.stats)
+
+    @settings(max_examples=60, deadline=None)
+    @given(accesses=ACCESS_STRATEGY, data=st.data())
+    def test_indices_increase_and_count_equals_l3_misses(self, accesses, data):
+        trace = synthetic_trace(
+            (block * 64 for block, _ in accesses),
+            (1 if write else 0 for _, write in accesses),
+        )
+        stream = HierarchyDistiller(TINY_CONFIG).distill(trace)
+        indices = list(stream.indices)
+        assert indices == sorted(set(indices))
+        assert len(stream) == stream.level_stats["l3"].misses
+        assert all(0 <= i < len(trace) for i in indices)
+
+    @settings(max_examples=60, deadline=None)
+    @given(accesses=ACCESS_STRATEGY, data=st.data())
+    def test_windowed_stats_telescope_like_trace_shards(self, accesses, data):
+        """concat(per-window streams) == one-shot distillation, exactly."""
+        trace = synthetic_trace(
+            (block * 64 for block, _ in accesses),
+            (1 if write else 0 for _, write in accesses),
+        )
+        total = len(trace)
+        cuts = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=max(1, total - 1)),
+                    max_size=5,
+                    unique=True,
+                )
+            )
+        ) if total > 1 else []
+        bounds = list(zip([0] + cuts, cuts + [total]))
+        whole = HierarchyDistiller(TINY_CONFIG).distill(trace)
+        windowed = HierarchyDistiller(TINY_CONFIG)
+        parts = [windowed.advance(trace, start, stop) for start, stop in bounds]
+        merged = MissEventStream.concat(parts)
+        merged.validate()
+        assert list(merged.indices) == list(whole.indices)
+        assert list(merged.addresses) == list(whole.addresses)
+        assert bytes(merged.writes) == bytes(whole.writes)
+        assert list(merged.writeback_addresses) == list(whole.writeback_addresses)
+        for level in ("l1", "l2", "l3"):
+            assert vars(merged.level_stats[level]) == vars(whole.level_stats[level])
+        assert merged.memory_accesses == whole.memory_accesses
+        assert merged.hierarchy_writebacks == whole.hierarchy_writebacks
+
+    def test_concat_rejects_non_abutting_windows(self, trace):
+        distiller = HierarchyDistiller(SMALL_CONFIG)
+        first = distiller.advance(trace, 0, 100)
+        distiller.advance(trace, 100, 200)
+        tail = distiller.advance(trace, 200, TRACE_LEN)
+        with pytest.raises(ValueError, match="abut"):
+            MissEventStream.concat([first, tail])
+
+    def test_validate_catches_miscounted_events(self, events):
+        broken = MissEventStream.from_payload(events.to_payload())
+        broken.indices.append(broken.stop_index - 1 + 1_000_000)
+        with pytest.raises(ValueError):
+            broken.validate()
+
+
+class TestStreamPersistence:
+    def test_payload_round_trips(self, events):
+        restored = MissEventStream.from_payload(events.to_payload())
+        assert restored.to_payload() == events.to_payload()
+        assert list(restored.events()) == list(events.events())
+
+    def test_byteorder_mismatch_is_rejected(self, events):
+        payload = events.to_payload()
+        payload["byteorder"] = "big" if payload["byteorder"] == "little" else "little"
+        with pytest.raises(ValueError, match="byte order"):
+            MissEventStream.from_payload(payload)
+
+    def test_distilled_events_persists_and_reloads(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = distilled_events("bsw", 0.002, 1234, 1500, None, store=store)
+        assert any(key.startswith("events-") for key in store.disk_keys())
+        # A fresh store over the same directory: served from disk, and the
+        # stream replays to the same result as a fresh distillation.
+        reloaded = distilled_events("bsw", 0.002, 1234, 1500, None, store=ResultStore(tmp_path))
+        assert reloaded.to_payload() == first.to_payload()
+
+    def test_corrupt_disk_entry_degrades_to_recompute(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = distilled_events("bsw", 0.002, 1234, 1500, None, store=store)
+        key = events_key("bsw", 0.002, 1234, 1500, None)
+        store.path_for(key).write_text('{"format": 1, "key": "%s", "payload": 42}' % key)
+        recomputed = distilled_events("bsw", 0.002, 1234, 1500, None, store=ResultStore(tmp_path))
+        assert recomputed.to_payload() == first.to_payload()
+
+
+class TestEventKeySemantics:
+    """One stream per (trace, cache geometry) -- and nothing else."""
+
+    def test_key_ignores_non_geometry_config_fields(self):
+        base = SystemConfig()
+        slower = dataclasses.replace(
+            base, local_dram_latency_ns=99.0, aes_latency_cycles=80, cores=8
+        )
+        assert events_key("bsw", 0.002, 1, 1000, base) == events_key(
+            "bsw", 0.002, 1, 1000, slower
+        )
+        assert events_key("bsw", 0.002, 1, 1000, None) == events_key(
+            "bsw", 0.002, 1, 1000, base
+        )
+
+    def test_key_tracks_geometry_and_trace_identity(self):
+        base = SystemConfig()
+        bigger_l3 = dataclasses.replace(
+            base,
+            l3_config=dataclasses.replace(base.l3_config, size_bytes=32 * 1024 * 1024),
+        )
+        key = events_key("bsw", 0.002, 1, 1000, base)
+        assert events_key("bsw", 0.002, 1, 1000, bigger_l3) != key
+        assert events_key("pr", 0.002, 1, 1000, base) != key
+        assert events_key("bsw", 0.004, 1, 1000, base) != key
+        assert events_key("bsw", 0.002, 2, 1000, base) != key
+        assert events_key("bsw", 0.002, 1, 2000, base) != key
+
+
+class TestSuiteStoreSharing:
+    """Distilled and undistilled runs share persistent suite entries."""
+
+    def test_distilled_served_from_undistilled_entry(self, tmp_path):
+        from repro.experiments.harness import run_benchmarks
+
+        store = ResultStore(tmp_path)
+        undistilled = run_benchmarks(
+            ("bsw",), modes=("CI",), num_accesses=1500, store=store,
+            use_cache=True, distill=False,
+        )
+        distilled = run_benchmarks(
+            ("bsw",), modes=("CI",), num_accesses=1500, store=store,
+            use_cache=True, distill=True,
+        )
+        # Same key, memory layer preserves identity: nothing re-simulated.
+        assert distilled is undistilled
+
+    def test_undistilled_served_from_distilled_entry(self, tmp_path):
+        from repro.experiments.harness import run_benchmarks
+
+        store = ResultStore(tmp_path)
+        distilled = run_benchmarks(
+            ("bsw",), modes=("CI",), num_accesses=1500, store=store,
+            use_cache=True, distill=True,
+        )
+        undistilled = run_benchmarks(
+            ("bsw",), modes=("CI",), num_accesses=1500, store=store,
+            use_cache=True, distill=False,
+        )
+        assert undistilled is distilled
+
+    def test_event_streams_shared_across_mode_sets(self, tmp_path):
+        # A later parallel run over *different* modes re-uses the first run's
+        # event stream: after the cold run, no second events entry appears.
+        # (The jobs=1 serial path distills in-process and leaves the store
+        # untouched; the pool path is the one that persists streams.)
+        from repro.experiments.harness import run_benchmarks
+        from repro.sim.store import default_store, set_default_store
+
+        previous = default_store()
+        store = ResultStore(tmp_path)
+        set_default_store(store)
+        try:
+            run_benchmarks(
+                ("bsw",), modes=("CI",), num_accesses=1500, store=store,
+                jobs=2, distill=True,
+            )
+            events_entries = [k for k in store.disk_keys() if k.startswith("events-")]
+            assert len(events_entries) == 1
+            run_benchmarks(
+                ("bsw",), modes=("Toleo", "CIF-Tree"), num_accesses=1500,
+                store=store, jobs=2, distill=True,
+            )
+            assert [
+                k for k in store.disk_keys() if k.startswith("events-")
+            ] == events_entries
+        finally:
+            set_default_store(previous)
+
+
+class TestFallbackForUndeclaredSamplers:
+    """Components with per-access hooks but no declared period stay exact by
+    falling back to the full replay."""
+
+    def test_distillable_requires_declared_period(self):
+        class Opaque(PathComponent):
+            def on_access(self, ctx):  # pragma: no cover - never dispatched
+                pass
+
+        assert SimulationEngine.distillable([Opaque()]) is False
+        assert SimulationEngine.distillable([PathComponent()]) is True
+        stealthy = object.__new__(StealthFreshnessComponent)
+        stealthy.access_period = 50
+        assert SimulationEngine.distillable([stealthy]) is True
+
+    def test_run_events_refuses_undistillable_mode(self, events, monkeypatch):
+        monkeypatch.setattr(StealthFreshnessComponent, "access_period", None)
+        original = StealthFreshnessComponent.__init__
+
+        def init(self, *args, **kwargs):
+            original(self, *args, **kwargs)
+            del self.access_period
+
+        monkeypatch.setattr(StealthFreshnessComponent, "__init__", init)
+        engine = SimulationEngine.from_mode("Toleo", config=SMALL_CONFIG, seed=7)
+        with pytest.raises(ValueError, match="access_period"):
+            engine.run_events(events)
+
+    def test_compare_modes_falls_back_bit_identically(self, monkeypatch):
+        from repro.sim.engine import compare_modes
+
+        factory = lambda: get_workload("memcached", scale=0.002, seed=7)  # noqa: E731
+        reference = compare_modes(
+            factory, modes=("Toleo",), num_accesses=TRACE_LEN,
+            config=SMALL_CONFIG, seed=7, distill=False,
+        )
+
+        original = StealthFreshnessComponent.__init__
+
+        def init(self, *args, **kwargs):
+            original(self, *args, **kwargs)
+            del self.access_period
+
+        monkeypatch.setattr(StealthFreshnessComponent, "__init__", init)
+        fallback = compare_modes(
+            factory, modes=("Toleo",), num_accesses=TRACE_LEN,
+            config=SMALL_CONFIG, seed=7, distill=True,
+        )
+        assert fallback["Toleo"].to_dict() == reference["Toleo"].to_dict()
+
+
+class TestReplayEventsContract:
+    def test_window_must_match_the_run(self, trace, events):
+        engine = SimulationEngine.from_mode("CI", config=SMALL_CONFIG, seed=7)
+        state = engine.begin(events, TRACE_LEN)
+        with pytest.raises(ValueError, match="cannot replay window"):
+            engine.replay_events(state, events, stop=TRACE_LEN + 1)
+
+    def test_stream_must_cover_the_full_run(self, trace):
+        engine = SimulationEngine.from_mode("CI", config=SMALL_CONFIG, seed=7)
+        distiller = HierarchyDistiller(SMALL_CONFIG)
+        partial = distiller.advance(trace, 0, 100)
+        state = engine.begin(partial, TRACE_LEN)
+        with pytest.raises(ValueError, match="event stream covers"):
+            engine.replay_events(state, partial)
+
+    def test_mixing_full_and_event_replay_is_rejected(self, trace, events):
+        engine = SimulationEngine.from_mode("CI", config=SMALL_CONFIG, seed=7)
+        state = engine.begin(trace, TRACE_LEN)
+        engine.replay(state, trace, stop=100)
+        with pytest.raises(ValueError, match="do not mix"):
+            engine.replay_events(state, events)
+
+
+class TestCliDistillFlags:
+    def test_bench_reports_distillation_state(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["bench", "--benchmarks", "bsw", "--modes", "CI",
+             "--accesses", "1200", "--no-cache"]
+        ) == 0
+        assert "distill=on" in capsys.readouterr().out
+
+        assert main(
+            ["bench", "--benchmarks", "bsw", "--modes", "CI",
+             "--accesses", "1200", "--no-cache", "--no-distill"]
+        ) == 0
+        assert "distill=off" in capsys.readouterr().out
+
+    def test_sweep_prints_measured_throughput(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["sweep", "--param", "scale=0.001,0.002", "--benchmarks", "bsw",
+             "--modes", "CI", "--accesses", "1200", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "accesses/s" in out
+        assert "distill=on" in out
