@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Fail on dead relative links in the markdown docs.
+
+Scans README.md and docs/*.md for inline markdown links and images.  External
+links (http/https/mailto) are not fetched -- CI has no business depending on
+the network -- but every *relative* target must exist in the checkout, so a
+file rename or a moved walkthrough cannot silently strand the docs tree.
+
+Usage: python scripts/check_docs_links.py  (exit 0 ok, 1 dead links)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown link/image: [text](target) / ![alt](target).  Titles
+#: (`[t](x "title")`) and fragments (`x#anchor`) are stripped before checking.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check_file(path: Path) -> list:
+    problems = []
+    text = path.read_text()
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            problems.append(
+                f"{path.relative_to(ROOT)}:{line}: dead link {target!r} "
+                f"(no such file {resolved.relative_to(ROOT) if resolved.is_relative_to(ROOT) else resolved})"
+            )
+    return problems
+
+
+def main() -> int:
+    files = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+    problems = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            problems.append(f"missing expected doc {path.relative_to(ROOT)}")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    if problems:
+        print(f"{len(problems)} dead link(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"{checked} markdown files checked, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

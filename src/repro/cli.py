@@ -2,6 +2,9 @@
 
 Installed as the ``repro`` console script (``toleo-repro`` is an alias)::
 
+    repro reproduce-all                  # every figure/table + results/index.html
+    repro reproduce-all --full --jobs 4  # all twelve benchmarks, paper-scale
+    repro reproduce-all --from-store     # re-render from precomputed data only
     repro list                           # experiments, benchmarks and modes
     repro table1                         # render one experiment
     repro fig6 --benchmarks bsw pr --accesses 20000
@@ -13,6 +16,13 @@ Installed as the ``repro`` console script (``toleo-repro`` is an alias)::
                                          # tera-scale traces: sharded replay
     repro sweep --param options.memory_level_parallelism=1,4,8 \
                 --param scale=0.001,0.002 --jobs 4
+
+``reproduce-all`` rebuilds every registered artifact (fig6-fig12, table1-4,
+the security and freshness-scaling analyses, the design ablations) through
+the declarative registry in :mod:`repro.report`, writes each one to
+``results/`` with a provenance stamp (store keys, source fingerprint, seed,
+mode labels, git describe) and assembles the self-contained
+``results/index.html`` report; see ``docs/reproducing.md``.
 
 Each experiment name maps to the corresponding module in
 :mod:`repro.experiments`; rendering uses the same code paths as the pytest
@@ -41,6 +51,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import (
+    ablations,
     fig6,
     fig7,
     fig8,
@@ -118,6 +129,9 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
         benchmarks, scale=scale, num_accesses=num_accesses
     ),
     "sec62": _simple(security62.render),
+    "ablations": lambda benchmarks, scale, num_accesses: ablations.render(
+        benchmarks, scale=scale, num_accesses=num_accesses
+    ),
 }
 
 
@@ -128,10 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "bench", "sweep", "list"],
-        help="experiment to render, 'bench' for a raw benchmark-suite run, "
-        "'sweep' for a parameter-grid run, 'all' for every experiment, or "
-        "'list' for the available experiments, benchmarks and modes",
+        choices=sorted(EXPERIMENTS) + ["all", "bench", "sweep", "list", "reproduce-all"],
+        help="experiment to render, 'reproduce-all' for every registered "
+        "artifact plus the provenance-stamped HTML report, 'bench' for a raw "
+        "benchmark-suite run, 'sweep' for a parameter-grid run, 'all' for "
+        "every experiment, or 'list' for the available experiments, "
+        "benchmarks and modes",
     )
     parser.add_argument(
         "--benchmarks",
@@ -158,14 +174,39 @@ def build_parser() -> argparse.ArgumentParser:
         "options.<field> or config.<field>",
     )
     parser.add_argument(
-        "--full", action="store_true", help="run all twelve paper benchmarks"
+        "--full",
+        action="store_true",
+        help="run all twelve paper benchmarks (for reproduce-all: the full "
+        "tier, paper-scale trace lengths)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reproduce-all only: the quick tier -- representative "
+        "4-benchmark subset, short traces (this is the default)",
+    )
+    parser.add_argument(
+        "--from-store",
+        action="store_true",
+        help="reproduce-all only: skip every data stage and re-render the "
+        "artifacts from the precomputed results/data/*.json files "
+        "(byte-identical output, zero simulation)",
     )
     parser.add_argument("--scale", type=float, default=0.002, help="footprint scale")
     parser.add_argument(
-        "--accesses", type=int, default=20_000, help="trace length per benchmark"
+        "--accesses",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace length per benchmark (default: 20000; for reproduce-all "
+        "the tier budgets decide unless this is given)",
     )
     parser.add_argument(
-        "--out", default=None, metavar="DIR", help="write rendered text files to DIR"
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write rendered text files to DIR "
+        "(reproduce-all default: results/)",
     )
     parser.add_argument(
         "--jobs",
@@ -231,7 +272,7 @@ def _resolve_modes(args: argparse.Namespace) -> Tuple[str, ...]:
 def run_list() -> str:
     """Everything the CLI can run: experiments, benchmarks and modes."""
     lines: List[str] = ["experiments:"]
-    for name in sorted(EXPERIMENTS) + ["bench", "sweep"]:
+    for name in sorted(EXPERIMENTS) + ["bench", "sweep", "reproduce-all"]:
         lines.append(f"  {name}")
     lines.append("")
     lines.append("benchmarks (--benchmarks):")
@@ -371,6 +412,38 @@ def run_sweep_command(args: argparse.Namespace) -> str:
     return table + footer
 
 
+def run_reproduce_all(args: argparse.Namespace) -> int:
+    """Rebuild every registered artifact and the HTML report."""
+    # The orchestrator imports repro.experiments (whose modules import the
+    # registry); importing it lazily keeps `repro fig6` startup unchanged.
+    from repro.report.reproduce import ReproductionError, reproduce_all
+
+    tier = "full" if args.full else "quick"
+    started = time.perf_counter()
+    try:
+        report = reproduce_all(
+            tier=tier,
+            out_dir=args.out if args.out is not None else "results",
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            from_store=args.from_store,
+            benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
+            num_accesses=args.accesses,
+            seed=args.seed,
+            progress=print,
+        )
+    except ReproductionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    print(
+        f"\n{len(report.artifacts)} artifacts ({tier} tier"
+        f"{', from store' if args.from_store else ''}) in {elapsed:.1f}s"
+        f" -> open {report.index_path}"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -381,6 +454,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--shard-warmup must be non-negative, got {args.shard_warmup}")
     if args.shard_warmup is not None and args.shard_size is None:
         parser.error("--shard-warmup requires --shard-size")
+    if args.quick and args.full:
+        parser.error("--quick and --full are mutually exclusive")
+    if args.from_store and args.experiment != "reproduce-all":
+        parser.error("--from-store only applies to reproduce-all")
+
+    if args.experiment == "reproduce-all":
+        return run_reproduce_all(args)
+
+    # Legacy single-experiment/bench/sweep paths keep their historical
+    # default trace length; reproduce-all leaves None for the tier budgets.
+    if args.accesses is None:
+        args.accesses = 20_000
 
     if args.experiment == "list":
         print(run_list())

@@ -1,4 +1,10 @@
-"""Experiment harnesses: one module per table and figure in the paper."""
+"""Experiment harnesses: one module per table, figure and study in the paper.
+
+Each module declares its reproducible artifact (an
+:class:`repro.report.artifacts.ArtifactSpec` with separated data and render
+stages) at import time; ``repro reproduce-all`` discovers them all through
+:func:`repro.report.artifacts.load_artifact_registry`.
+"""
 
 from repro.experiments import (
     table1,
@@ -13,6 +19,8 @@ from repro.experiments import (
     fig11,
     fig12,
     security62,
+    freshness_scaling,
+    ablations,
 )
 from repro.experiments.harness import run_benchmarks, DEFAULT_BENCHMARKS, QUICK_BENCHMARKS
 from repro.experiments.report import format_table, format_percentage
@@ -30,6 +38,8 @@ __all__ = [
     "fig11",
     "fig12",
     "security62",
+    "freshness_scaling",
+    "ablations",
     "run_benchmarks",
     "DEFAULT_BENCHMARKS",
     "QUICK_BENCHMARKS",

@@ -13,8 +13,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.trip import TripFormat
-from repro.experiments.harness import SpaceStudyResult, run_space_study
+from repro.experiments.harness import (
+    SPACE_STUDY_BUDGETS,
+    SpaceStudyResult,
+    run_space_study,
+    space_key,
+)
 from repro.experiments.report import arithmetic_mean, format_percentage, format_table
+from repro.report.artifacts import ArtifactSpec, ReproContext, register_artifact
 
 
 def compute(study: Dict[str, SpaceStudyResult]) -> List[Dict[str, object]]:
@@ -52,12 +58,8 @@ def run(
     return compute(study)
 
 
-def render(
-    benchmarks: Optional[Sequence[str]] = None,
-    scale: float = 0.001,
-    num_accesses: int = 150_000,
-) -> str:
-    rows = run(benchmarks, scale=scale, num_accesses=num_accesses)
+def render_payload(payload: Dict[str, object]) -> str:
+    rows = payload["rows"]
     display = [
         {
             "bench": r["bench"],
@@ -81,4 +83,52 @@ def render(
     return format_table(display, title="Figure 10: Pages classified by Trip format")
 
 
-__all__ = ["compute", "averages", "run", "render"]
+def render(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.001,
+    num_accesses: int = 150_000,
+) -> str:
+    return render_payload({"rows": run(benchmarks, scale=scale, num_accesses=num_accesses)})
+
+
+def artifact_payload(ctx: ReproContext) -> Dict[str, object]:
+    study = run_space_study(
+        ctx.benchmarks, scale=ctx.scale, num_accesses=ctx.num_accesses, seed=ctx.seed
+    )
+    return {
+        "payload": {"rows": compute(study)},
+        "store_keys": [
+            space_key(
+                ctx.benchmarks,
+                scale=ctx.scale,
+                num_accesses=ctx.num_accesses,
+                seed=ctx.seed,
+            )
+        ],
+        "modes": ["Toleo"],
+    }
+
+
+ARTIFACT = register_artifact(
+    ArtifactSpec(
+        name="fig10",
+        kind="figure",
+        title="Figure 10: Pages classified by Trip format",
+        description="Steady-state flat/uneven/full page mix from the write replay",
+        data=artifact_payload,
+        render=render_payload,
+        order=240,
+        budgets=SPACE_STUDY_BUDGETS,
+    )
+)
+
+
+__all__ = [
+    "compute",
+    "averages",
+    "run",
+    "render",
+    "render_payload",
+    "artifact_payload",
+    "ARTIFACT",
+]

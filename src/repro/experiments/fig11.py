@@ -13,8 +13,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import FLAT_ENTRY_BYTES, GIB, PAGE_BYTES, TIB
-from repro.experiments.harness import SpaceStudyResult, run_space_study
+from repro.experiments.harness import (
+    SPACE_STUDY_BUDGETS,
+    SpaceStudyResult,
+    run_space_study,
+    space_key,
+)
 from repro.experiments.report import arithmetic_mean, format_table
+from repro.report.artifacts import ArtifactSpec, ReproContext, register_artifact
 
 
 def compute(study: Dict[str, SpaceStudyResult]) -> List[Dict[str, object]]:
@@ -63,12 +69,8 @@ def run(
     return compute(study)
 
 
-def render(
-    benchmarks: Optional[Sequence[str]] = None,
-    scale: float = 0.001,
-    num_accesses: int = 150_000,
-) -> str:
-    rows = run(benchmarks, scale=scale, num_accesses=num_accesses)
+def render_payload(payload: Dict[str, object]) -> str:
+    rows = payload["rows"]
     table = format_table(
         rows,
         columns=["bench", "flat_bytes", "uneven_bytes", "full_bytes", "gb_per_tb_protected"],
@@ -83,4 +85,54 @@ def render(
     )
 
 
-__all__ = ["compute", "average_gb_per_tb", "protectable_tb", "run", "render"]
+def render(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.001,
+    num_accesses: int = 150_000,
+) -> str:
+    return render_payload({"rows": run(benchmarks, scale=scale, num_accesses=num_accesses)})
+
+
+def artifact_payload(ctx: ReproContext) -> Dict[str, object]:
+    study = run_space_study(
+        ctx.benchmarks, scale=ctx.scale, num_accesses=ctx.num_accesses, seed=ctx.seed
+    )
+    return {
+        "payload": {"rows": compute(study)},
+        "store_keys": [
+            space_key(
+                ctx.benchmarks,
+                scale=ctx.scale,
+                num_accesses=ctx.num_accesses,
+                seed=ctx.seed,
+            )
+        ],
+        "modes": ["Toleo"],
+    }
+
+
+ARTIFACT = register_artifact(
+    ArtifactSpec(
+        name="fig11",
+        kind="figure",
+        title="Figure 11: Peak Toleo usage per TB protected data",
+        description="GB of Toleo capacity per TB protected, static flat + "
+        "dynamic uneven/full entries",
+        data=artifact_payload,
+        render=render_payload,
+        order=250,
+        budgets=SPACE_STUDY_BUDGETS,
+    )
+)
+
+
+__all__ = [
+    "compute",
+    "average_gb_per_tb",
+    "protectable_tb",
+    "run",
+    "render",
+    "render_payload",
+    "artifact_payload",
+    "ARTIFACT",
+]

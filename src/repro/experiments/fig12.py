@@ -10,8 +10,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.harness import SpaceStudyResult, run_space_study
+from repro.experiments.harness import (
+    SPACE_STUDY_BUDGETS,
+    SpaceStudyResult,
+    run_space_study,
+    space_key,
+)
 from repro.experiments.report import format_table
+from repro.report.artifacts import ArtifactSpec, ReproContext, register_artifact
 
 
 def compute(study: Dict[str, SpaceStudyResult]) -> Dict[str, List[Dict[str, int]]]:
@@ -57,16 +63,61 @@ def run(
     return compute(study)
 
 
+def render_payload(payload: Dict[str, object]) -> str:
+    rows = final_breakdown(payload["timelines"])
+    return format_table(
+        rows, title="Figure 12: Toleo usage over time (final sample per benchmark)"
+    )
+
+
 def render(
     benchmarks: Optional[Sequence[str]] = None,
     scale: float = 0.001,
     num_accesses: int = 150_000,
 ) -> str:
     timelines = run(benchmarks, scale=scale, num_accesses=num_accesses)
-    rows = final_breakdown(timelines)
-    return format_table(
-        rows, title="Figure 12: Toleo usage over time (final sample per benchmark)"
+    return render_payload({"timelines": timelines})
+
+
+def artifact_payload(ctx: ReproContext) -> Dict[str, object]:
+    study = run_space_study(
+        ctx.benchmarks, scale=ctx.scale, num_accesses=ctx.num_accesses, seed=ctx.seed
     )
+    return {
+        "payload": {"timelines": compute(study)},
+        "store_keys": [
+            space_key(
+                ctx.benchmarks,
+                scale=ctx.scale,
+                num_accesses=ctx.num_accesses,
+                seed=ctx.seed,
+            )
+        ],
+        "modes": ["Toleo"],
+    }
 
 
-__all__ = ["compute", "monotonic_flat_growth", "final_breakdown", "run", "render"]
+ARTIFACT = register_artifact(
+    ArtifactSpec(
+        name="fig12",
+        kind="figure",
+        title="Figure 12: Toleo usage over time by Trip format",
+        description="Sampled flat/uneven/full byte usage over the write replay",
+        data=artifact_payload,
+        render=render_payload,
+        order=260,
+        budgets=SPACE_STUDY_BUDGETS,
+    )
+)
+
+
+__all__ = [
+    "compute",
+    "monotonic_flat_growth",
+    "final_breakdown",
+    "run",
+    "render",
+    "render_payload",
+    "artifact_payload",
+    "ARTIFACT",
+]

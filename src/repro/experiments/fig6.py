@@ -9,8 +9,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.harness import SuiteResults, run_benchmarks
+from repro.experiments.harness import SuiteResults, run_benchmarks, suite_key
 from repro.experiments.report import arithmetic_mean, format_percentage, format_table
+from repro.report.artifacts import ArtifactSpec, ReproContext, register_artifact
+from repro.sim.configs import EVALUATED_MODES
 
 OVERHEAD_MODES = ("CI", "Toleo", "InvisiMem")
 
@@ -54,12 +56,8 @@ def run(
     return compute(suite)
 
 
-def render(
-    benchmarks: Optional[Sequence[str]] = None,
-    scale: float = 0.002,
-    num_accesses: int = 60_000,
-) -> str:
-    rows = run(benchmarks, scale=scale, num_accesses=num_accesses)
+def render_payload(payload: Dict[str, object]) -> str:
+    rows = payload["rows"]
     display_rows = [
         {
             "bench": row["bench"],
@@ -80,4 +78,51 @@ def render(
     )
 
 
-__all__ = ["compute", "averages", "toleo_increment_over_ci", "run", "render", "OVERHEAD_MODES"]
+def render(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.002,
+    num_accesses: int = 60_000,
+) -> str:
+    return render_payload({"rows": run(benchmarks, scale=scale, num_accesses=num_accesses)})
+
+
+def artifact_payload(ctx: ReproContext) -> Dict[str, object]:
+    suite = run_benchmarks(
+        ctx.benchmarks, scale=ctx.scale, num_accesses=ctx.num_accesses, seed=ctx.seed
+    )
+    return {
+        "payload": {"rows": compute(suite)},
+        "store_keys": [
+            suite_key(
+                ctx.benchmarks, EVALUATED_MODES, ctx.scale, ctx.num_accesses, ctx.seed,
+                None, None,
+            )
+        ],
+        "modes": list(EVALUATED_MODES),
+    }
+
+
+ARTIFACT = register_artifact(
+    ArtifactSpec(
+        name="fig6",
+        kind="figure",
+        title="Figure 6: Execution time overhead vs NoProtect",
+        description="Per-benchmark overhead of CI, Toleo and InvisiMem",
+        data=artifact_payload,
+        render=render_payload,
+        order=200,
+    )
+)
+
+
+__all__ = [
+    "compute",
+    "averages",
+    "toleo_increment_over_ci",
+    "run",
+    "render",
+    "render_payload",
+    "artifact_payload",
+    "ARTIFACT",
+    "OVERHEAD_MODES",
+]

@@ -9,8 +9,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.harness import SuiteResults, run_benchmarks
+from repro.experiments.harness import SuiteResults, run_benchmarks, suite_key
 from repro.experiments.report import arithmetic_mean, format_percentage, format_table
+from repro.report.artifacts import ArtifactSpec, ReproContext, register_artifact
+from repro.sim.configs import EVALUATED_MODES
 
 
 def compute(suite: SuiteResults) -> List[Dict[str, object]]:
@@ -45,12 +47,8 @@ def run(
     return compute(suite)
 
 
-def render(
-    benchmarks: Optional[Sequence[str]] = None,
-    scale: float = 0.002,
-    num_accesses: int = 60_000,
-) -> str:
-    rows = run(benchmarks, scale=scale, num_accesses=num_accesses)
+def render_payload(payload: Dict[str, object]) -> str:
+    rows = payload["rows"]
     display = [
         {
             "bench": r["bench"],
@@ -70,4 +68,49 @@ def render(
     return format_table(display, title="Figure 7: Metadata cache hit rates (Toleo config)")
 
 
-__all__ = ["compute", "averages", "run", "render"]
+def render(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.002,
+    num_accesses: int = 60_000,
+) -> str:
+    return render_payload({"rows": run(benchmarks, scale=scale, num_accesses=num_accesses)})
+
+
+def artifact_payload(ctx: ReproContext) -> Dict[str, object]:
+    suite = run_benchmarks(
+        ctx.benchmarks, scale=ctx.scale, num_accesses=ctx.num_accesses, seed=ctx.seed
+    )
+    return {
+        "payload": {"rows": compute(suite)},
+        "store_keys": [
+            suite_key(
+                ctx.benchmarks, EVALUATED_MODES, ctx.scale, ctx.num_accesses, ctx.seed,
+                None, None,
+            )
+        ],
+        "modes": list(EVALUATED_MODES),
+    }
+
+
+ARTIFACT = register_artifact(
+    ArtifactSpec(
+        name="fig7",
+        kind="figure",
+        title="Figure 7: Metadata cache hit rates (Toleo config)",
+        description="Stealth-version and MAC cache hit rates per benchmark",
+        data=artifact_payload,
+        render=render_payload,
+        order=210,
+    )
+)
+
+
+__all__ = [
+    "compute",
+    "averages",
+    "run",
+    "render",
+    "render_payload",
+    "artifact_payload",
+    "ARTIFACT",
+]

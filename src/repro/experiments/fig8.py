@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.harness import SuiteResults, run_benchmarks
+from repro.experiments.harness import SuiteResults, run_benchmarks, suite_key
 from repro.experiments.report import format_table
+from repro.report.artifacts import ArtifactSpec, ReproContext, register_artifact
 from repro.sim.configs import EVALUATED_MODES
 
 
@@ -56,17 +57,57 @@ def run(
     return compute(suite)
 
 
-def render(
-    benchmarks: Optional[Sequence[str]] = None,
-    scale: float = 0.002,
-    num_accesses: int = 60_000,
-) -> str:
-    rows = run(benchmarks, scale=scale, num_accesses=num_accesses)
+def render_payload(payload: Dict[str, object]) -> str:
     return format_table(
-        rows,
+        payload["rows"],
         columns=["bench", "mode", "data", "mac_uv", "stealth", "dummy", "total"],
         title="Figure 8: Bytes fetched per instruction by category",
     )
 
 
-__all__ = ["compute", "stealth_traffic_fraction", "run", "render"]
+def render(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.002,
+    num_accesses: int = 60_000,
+) -> str:
+    return render_payload({"rows": run(benchmarks, scale=scale, num_accesses=num_accesses)})
+
+
+def artifact_payload(ctx: ReproContext) -> Dict[str, object]:
+    suite = run_benchmarks(
+        ctx.benchmarks, scale=ctx.scale, num_accesses=ctx.num_accesses, seed=ctx.seed
+    )
+    return {
+        "payload": {"rows": compute(suite)},
+        "store_keys": [
+            suite_key(
+                ctx.benchmarks, EVALUATED_MODES, ctx.scale, ctx.num_accesses, ctx.seed,
+                None, None,
+            )
+        ],
+        "modes": list(EVALUATED_MODES),
+    }
+
+
+ARTIFACT = register_artifact(
+    ArtifactSpec(
+        name="fig8",
+        kind="figure",
+        title="Figure 8: Bytes fetched per instruction by category",
+        description="Memory traffic split into data, MAC+UV, stealth and dummy bytes",
+        data=artifact_payload,
+        render=render_payload,
+        order=220,
+    )
+)
+
+
+__all__ = [
+    "compute",
+    "stealth_traffic_fraction",
+    "run",
+    "render",
+    "render_payload",
+    "artifact_payload",
+    "ARTIFACT",
+]

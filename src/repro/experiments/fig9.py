@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.harness import SuiteResults, run_benchmarks
+from repro.experiments.harness import SuiteResults, run_benchmarks, suite_key
 from repro.experiments.report import format_table
+from repro.report.artifacts import ArtifactSpec, ReproContext, register_artifact
 from repro.sim.configs import BASELINE_MODE, LATENCY_MODES
 
 
@@ -65,14 +66,9 @@ def run(
     return compute(suite)
 
 
-def render(
-    benchmarks: Optional[Sequence[str]] = None,
-    scale: float = 0.002,
-    num_accesses: int = 60_000,
-) -> str:
-    rows = run(benchmarks, scale=scale, num_accesses=num_accesses)
+def render_payload(payload: Dict[str, object]) -> str:
     return format_table(
-        rows,
+        payload["rows"],
         columns=[
             "bench",
             "mode",
@@ -87,4 +83,54 @@ def render(
     )
 
 
-__all__ = ["compute", "freshness_latency_fraction", "run", "render"]
+def render(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.002,
+    num_accesses: int = 60_000,
+) -> str:
+    return render_payload({"rows": run(benchmarks, scale=scale, num_accesses=num_accesses)})
+
+
+def artifact_payload(ctx: ReproContext) -> Dict[str, object]:
+    suite = run_benchmarks(
+        ctx.benchmarks,
+        modes=LATENCY_MODES,
+        scale=ctx.scale,
+        num_accesses=ctx.num_accesses,
+        seed=ctx.seed,
+    )
+    return {
+        "payload": {"rows": compute(suite)},
+        "store_keys": [
+            suite_key(
+                ctx.benchmarks, LATENCY_MODES, ctx.scale, ctx.num_accesses, ctx.seed,
+                None, None,
+            )
+        ],
+        "modes": list(LATENCY_MODES),
+    }
+
+
+ARTIFACT = register_artifact(
+    ArtifactSpec(
+        name="fig9",
+        kind="figure",
+        title="Figure 9: Average memory read latency breakdown (ns)",
+        description="Read latency split into DRAM, decryption, integrity, "
+        "freshness and side-channel components",
+        data=artifact_payload,
+        render=render_payload,
+        order=230,
+    )
+)
+
+
+__all__ = [
+    "compute",
+    "freshness_latency_fraction",
+    "run",
+    "render",
+    "render_payload",
+    "artifact_payload",
+    "ARTIFACT",
+]

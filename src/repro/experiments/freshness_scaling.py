@@ -21,7 +21,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.counter_trees import client_sgx_tree
 from repro.experiments import harness
+from repro.experiments.harness import suite_key
 from repro.experiments.report import format_table
+from repro.report.artifacts import ArtifactSpec, ReproContext, register_artifact
 from repro.sim.configs import BASELINE_MODE, FRESHNESS_MODES
 from repro.sim.sweep import SweepAxis, run_sweep
 from repro.sim.variants import VARIANT_MODES
@@ -48,6 +50,7 @@ def run(
     benchmarks: Optional[Sequence[str]] = None,
     scale: float = 0.002,
     num_accesses: int = 60_000,
+    seed: int = 1234,
 ) -> List[Dict[str, object]]:
     """One row per (benchmark, footprint point) with per-scheme slowdowns."""
     names = tuple(benchmarks) if benchmarks is not None else harness.QUICK_BENCHMARKS
@@ -58,6 +61,7 @@ def run(
         modes=COMPARED_MODES,
         scale=scale,
         num_accesses=num_accesses,
+        seed=seed,
         jobs=defaults["jobs"],
         use_cache=defaults["use_cache"],
     )
@@ -100,12 +104,8 @@ def tree_growth(rows: List[Dict[str, object]]) -> Dict[str, Dict[str, float]]:
     return out
 
 
-def render(
-    benchmarks: Optional[Sequence[str]] = None,
-    scale: float = 0.002,
-    num_accesses: int = 60_000,
-) -> str:
-    rows = run(benchmarks, scale=scale, num_accesses=num_accesses)
+def render_payload(payload: Dict[str, object]) -> str:
+    rows = payload["rows"]
     table = format_table(
         rows,
         columns=["bench", "scale", "footprint_mib", "tree_levels"]
@@ -120,9 +120,54 @@ def render(
     return table + "\n".join(lines) + "\n"
 
 
+def render(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.002,
+    num_accesses: int = 60_000,
+) -> str:
+    return render_payload({"rows": run(benchmarks, scale=scale, num_accesses=num_accesses)})
+
+
+def artifact_payload(ctx: ReproContext) -> Dict[str, object]:
+    rows = run(
+        ctx.benchmarks, scale=ctx.scale, num_accesses=ctx.num_accesses, seed=ctx.seed
+    )
+    # One sweep point per footprint multiplier; each point shares its store
+    # entry with an identical `repro bench` / `repro sweep` run.
+    keys = [
+        suite_key(
+            ctx.benchmarks, COMPARED_MODES, point_scale, ctx.num_accesses, ctx.seed,
+            None, None,
+        )
+        for point_scale in sweep_scales(ctx.scale)
+    ]
+    return {
+        "payload": {"rows": rows},
+        "store_keys": keys,
+        "modes": list(COMPARED_MODES),
+    }
+
+
+ARTIFACT = register_artifact(
+    ArtifactSpec(
+        name="fresh-scale",
+        kind="analysis",
+        title="Freshness scaling: slowdown vs footprint (Toleo vs tree-based)",
+        description="Every freshness scheme swept over the footprint axis",
+        data=artifact_payload,
+        render=render_payload,
+        order=310,
+        budgets={"quick": {"num_accesses": 10_000}},
+    )
+)
+
+
 __all__ = [
     "run",
     "render",
+    "render_payload",
+    "artifact_payload",
+    "ARTIFACT",
     "tree_growth",
     "sweep_scales",
     "COMPARED_MODES",

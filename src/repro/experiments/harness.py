@@ -307,6 +307,37 @@ def _space_study_task(task: Tuple[str, float, int, int, int]) -> SpaceStudyResul
     return result
 
 
+#: Per-tier budgets shared by the space-study artifacts (figures 10-12).
+#: Deliberately identical across the three figures so one space study --
+#: one store entry -- serves all of them in a ``reproduce-all`` run.
+SPACE_STUDY_BUDGETS: Dict[str, Dict[str, Any]] = {
+    "quick": {"scale": 0.001, "num_accesses": 60_000},
+    "full": {"scale": 0.001, "num_accesses": 150_000},
+}
+
+
+def space_key(
+    benchmarks: Sequence[str],
+    scale: float = 0.001,
+    num_accesses: int = 150_000,
+    seed: int = 1234,
+    timeline_samples: int = 40,
+) -> str:
+    """Persistent-store key of one space study (figures 10-12, table 4).
+
+    Exposed so provenance stamps can name the store entry a space-backed
+    artifact came from without re-running the study.
+    """
+    return content_key(
+        "space",
+        benchmarks=list(benchmarks),
+        scale=scale,
+        num_accesses=num_accesses,
+        seed=seed,
+        timeline_samples=timeline_samples,
+    )
+
+
 def run_space_study(
     benchmarks: Optional[Sequence[str]] = None,
     scale: float = 0.001,
@@ -326,9 +357,8 @@ def run_space_study(
     if store is None:
         store = default_store()
 
-    key = content_key(
-        "space",
-        benchmarks=list(names),
+    key = space_key(
+        names,
         scale=scale,
         num_accesses=num_accesses,
         seed=seed,
@@ -360,6 +390,8 @@ __all__ = [
     "configure",
     "execution_defaults",
     "suite_key",
+    "space_key",
+    "SPACE_STUDY_BUDGETS",
     "SuiteResults",
     "SpaceStudyResult",
     "DEFAULT_BENCHMARKS",

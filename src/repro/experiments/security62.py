@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.experiments.report import format_table
+from repro.report.artifacts import ArtifactSpec, ReproContext, register_artifact
 from repro.security.analysis import (
     SecurityAnalysis,
     monte_carlo_exhaustion_rate,
@@ -71,10 +72,46 @@ def reduced_parameter_check(trials: int = 500, seed: int = 3) -> Dict[str, float
     return {"empirical": empirical, "analytical": analytical}
 
 
-def render() -> str:
-    return format_table(
-        comparison_rows(), title="Section 6.2: Security bounds (paper vs recomputed)"
+def render_payload(payload: Dict[str, object]) -> str:
+    table = format_table(
+        payload["rows"], title="Section 6.2: Security bounds (paper vs recomputed)"
     )
+    check = payload.get("reduced_check")
+    if not check:
+        return table
+    return (
+        table
+        + "Reduced-parameter Monte-Carlo cross-check (10-bit stealth, p=2^-7): "
+        + f"empirical {check['empirical']:.4f} vs analytical {check['analytical']:.4f}\n"
+    )
+
+
+def render() -> str:
+    return render_payload({"rows": comparison_rows()})
+
+
+def artifact_payload(ctx: ReproContext) -> Dict[str, object]:
+    return {
+        "payload": {
+            "rows": comparison_rows(),
+            "reduced_check": reduced_parameter_check(),
+        },
+        "store_keys": [],
+        "modes": ["Toleo"],
+    }
+
+
+ARTIFACT = register_artifact(
+    ArtifactSpec(
+        name="sec62",
+        kind="analysis",
+        title="Section 6.2: Security bounds (paper vs recomputed)",
+        description="Analytical security bounds plus a Monte-Carlo cross-check",
+        data=artifact_payload,
+        render=render_payload,
+        order=300,
+    )
+)
 
 
 __all__ = [
@@ -82,6 +119,9 @@ __all__ = [
     "comparison_rows",
     "reduced_parameter_check",
     "render",
+    "render_payload",
+    "artifact_payload",
+    "ARTIFACT",
     "PAPER_COLLISION_PROBABILITY",
     "PAPER_PER_INTERVAL_NO_RESET",
     "PAPER_REPLAY_SUCCESS",

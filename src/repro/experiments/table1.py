@@ -14,6 +14,7 @@ from typing import Dict, List
 from repro.baselines.sgx import ScalableSgxModel, guarantee_matrix
 from repro.core.protection import MemoryProtectionEngine, ProtectionLevel
 from repro.experiments.report import format_table
+from repro.report.artifacts import ArtifactSpec, ReproContext, register_artifact
 
 
 def compute() -> List[Dict[str, str]]:
@@ -43,14 +44,49 @@ def demonstrate_partial_confidentiality() -> Dict[str, bool]:
     return {"Scalable SGX": scalable_leaks, "Toleo": toleo_leaks}
 
 
-def render() -> str:
-    rows = compute()
-    table = format_table(rows, title="Table 1: Memory Protection Comparison")
-    demo = demonstrate_partial_confidentiality()
+def render_payload(payload: Dict[str, object]) -> str:
+    table = format_table(payload["rows"], title="Table 1: Memory Protection Comparison")
     lines = [table, "Same-value writes distinguishable on the bus:"]
-    for scheme, leaks in demo.items():
+    for scheme, leaks in payload["distinguishable"].items():
         lines.append(f"  {scheme}: {'yes' if leaks else 'no'}")
     return "\n".join(lines) + "\n"
 
 
-__all__ = ["compute", "demonstrate_partial_confidentiality", "render"]
+def render() -> str:
+    return render_payload(
+        {"rows": compute(), "distinguishable": demonstrate_partial_confidentiality()}
+    )
+
+
+def artifact_payload(ctx: ReproContext) -> Dict[str, object]:
+    return {
+        "payload": {
+            "rows": compute(),
+            "distinguishable": demonstrate_partial_confidentiality(),
+        },
+        "store_keys": [],
+        "modes": [],
+    }
+
+
+ARTIFACT = register_artifact(
+    ArtifactSpec(
+        name="table1",
+        kind="table",
+        title="Table 1: Memory Protection Comparison",
+        description="Guarantee matrix plus the executable partial-confidentiality demo",
+        data=artifact_payload,
+        render=render_payload,
+        order=100,
+    )
+)
+
+
+__all__ = [
+    "compute",
+    "demonstrate_partial_confidentiality",
+    "render",
+    "render_payload",
+    "artifact_payload",
+    "ARTIFACT",
+]

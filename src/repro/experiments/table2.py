@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.cache.hierarchy import CacheHierarchy
 from repro.core.config import GIB, SystemConfig
 from repro.experiments.report import format_table
+from repro.report.artifacts import ArtifactSpec, ReproContext, register_artifact
 from repro.workloads.registry import BENCHMARKS, get_workload
 
 
@@ -59,16 +60,48 @@ def measure(
     return rows
 
 
+def render_payload(payload: Dict[str, object]) -> str:
+    return format_table(
+        payload["rows"],
+        title="Table 2: Benchmarks (paper reference vs scaled synthetic measurement)",
+    )
+
+
 def render(
     benchmarks: Optional[Sequence[str]] = None,
     scale: float = 0.002,
     num_accesses: int = 40_000,
 ) -> str:
-    rows = measure(benchmarks, scale=scale, num_accesses=num_accesses)
-    return format_table(
-        rows,
-        title="Table 2: Benchmarks (paper reference vs scaled synthetic measurement)",
+    return render_payload(
+        {"rows": measure(benchmarks, scale=scale, num_accesses=num_accesses)}
     )
 
 
-__all__ = ["reference_rows", "measure", "render"]
+def artifact_payload(ctx: ReproContext) -> Dict[str, object]:
+    rows = measure(
+        ctx.benchmarks, scale=ctx.scale, num_accesses=ctx.num_accesses, seed=ctx.seed
+    )
+    return {"payload": {"rows": rows}, "store_keys": [], "modes": []}
+
+
+ARTIFACT = register_artifact(
+    ArtifactSpec(
+        name="table2",
+        kind="table",
+        title="Table 2: Benchmarks (paper reference vs scaled synthetic measurement)",
+        description="Paper RSS/MPKI next to the scaled synthetic measurements",
+        data=artifact_payload,
+        render=render_payload,
+        order=110,
+    )
+)
+
+
+__all__ = [
+    "reference_rows",
+    "measure",
+    "render",
+    "render_payload",
+    "artifact_payload",
+    "ARTIFACT",
+]

@@ -10,6 +10,7 @@ from typing import Dict, List
 
 from repro.core.config import KIB, MIB, GIB, TIB, SystemConfig
 from repro.experiments.report import format_table
+from repro.report.artifacts import ArtifactSpec, ReproContext, register_artifact
 
 
 def compute(config: SystemConfig | None = None) -> List[Dict[str, object]]:
@@ -77,8 +78,29 @@ def compute(config: SystemConfig | None = None) -> List[Dict[str, object]]:
     ]
 
 
+def render_payload(payload: Dict[str, object]) -> str:
+    return format_table(payload["rows"], title="Table 3: Simulation Configuration")
+
+
 def render(config: SystemConfig | None = None) -> str:
-    return format_table(compute(config), title="Table 3: Simulation Configuration")
+    return render_payload({"rows": compute(config)})
 
 
-__all__ = ["compute", "render"]
+def artifact_payload(ctx: ReproContext) -> Dict[str, object]:
+    return {"payload": {"rows": compute()}, "store_keys": [], "modes": []}
+
+
+ARTIFACT = register_artifact(
+    ArtifactSpec(
+        name="table3",
+        kind="table",
+        title="Table 3: Simulation Configuration",
+        description="The down-scaled per-node configuration every simulation uses",
+        data=artifact_payload,
+        render=render_payload,
+        order=120,
+    )
+)
+
+
+__all__ = ["compute", "render", "render_payload", "artifact_payload", "ARTIFACT"]

@@ -18,6 +18,7 @@ from repro.core.versions import StealthVersionPolicy
 from repro.crypto.rng import DRangeRng
 from repro.experiments.report import format_table
 from repro.memory.address import block_index_in_page, page_number
+from repro.report.artifacts import ArtifactSpec, ReproContext, register_artifact
 from repro.workloads.registry import BENCHMARKS, get_workload
 
 
@@ -70,15 +71,12 @@ def measure_toleo_average(
     }
 
 
-def render(
-    benchmarks: Optional[Sequence[str]] = None,
-    scale: float = 0.002,
-    num_accesses: int = 40_000,
-) -> str:
+def render_payload(payload: Dict[str, object]) -> str:
     table = format_table(
-        reference_rows(), title="Table 4: Freshness Protected Version Size Comparison"
+        payload["reference"],
+        title="Table 4: Freshness Protected Version Size Comparison",
     )
-    measured = measure_toleo_average(benchmarks, scale=scale, num_accesses=num_accesses)
+    measured = payload["measured"]
     return (
         table
         + "\nMeasured Toleo average (synthetic workloads): "
@@ -87,4 +85,55 @@ def render(
     )
 
 
-__all__ = ["reference_rows", "measure_toleo_average", "render"]
+def render(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.002,
+    num_accesses: int = 40_000,
+) -> str:
+    return render_payload(
+        {
+            "reference": reference_rows(),
+            "measured": measure_toleo_average(
+                benchmarks, scale=scale, num_accesses=num_accesses
+            ),
+        }
+    )
+
+
+def artifact_payload(ctx: ReproContext) -> Dict[str, object]:
+    return {
+        "payload": {
+            "reference": reference_rows(),
+            "measured": measure_toleo_average(
+                ctx.benchmarks,
+                scale=ctx.scale,
+                num_accesses=ctx.num_accesses,
+                seed=ctx.seed,
+            ),
+        },
+        "store_keys": [],
+        "modes": ["Toleo"],
+    }
+
+
+ARTIFACT = register_artifact(
+    ArtifactSpec(
+        name="table4",
+        kind="table",
+        title="Table 4: Freshness Protected Version Size Comparison",
+        description="Static representation ratios plus the measured Toleo average",
+        data=artifact_payload,
+        render=render_payload,
+        order=130,
+    )
+)
+
+
+__all__ = [
+    "reference_rows",
+    "measure_toleo_average",
+    "render",
+    "render_payload",
+    "artifact_payload",
+    "ARTIFACT",
+]

@@ -1,0 +1,70 @@
+"""Artifact-evaluation layer: declarative artifact specs, provenance, reports.
+
+This package turns "reproduce the paper" from a dozen CLI invocations into
+one command.  Its pieces:
+
+* :mod:`repro.report.artifacts` -- the declarative registry.  Every
+  ``repro.experiments.*`` module registers an :class:`ArtifactSpec` with a
+  **data stage** (simulate through the persistent store, return JSON data +
+  store keys) and a **render stage** (pure function of that data).
+* :mod:`repro.report.provenance` -- :class:`ProvenanceStamp`: store keys,
+  source-tree fingerprint, seed, mode labels and git describe attached to
+  every emitted artifact, round-tripping through a plain-text trailer.
+* :mod:`repro.report.reproduce` -- the ``repro reproduce-all`` orchestrator
+  (tiers, ``--from-store`` fallback, manifest).
+* :mod:`repro.report.htmlreport` -- the self-contained ``results/index.html``.
+* :mod:`repro.report.validate` -- CI-facing checker for an output directory.
+
+Exactness contracts this package relies on and extends:
+
+* Everything below the data stage -- parallel fan-out
+  (:mod:`repro.sim.parallel`), sharding (:mod:`repro.sim.shard`) and
+  miss-event distillation (:mod:`repro.sim.distill`) -- is **bit-identical**
+  to the serial, unsharded, undistilled engine, and therefore shares its
+  store keys.  A stamp's ``store-key`` lines identify the *result*, not the
+  execution strategy that produced it.
+* Render stages are pure and deterministic, and stamps carry no wall-clock
+  timestamps, so re-rendering from precomputed data (``--from-store``)
+  reproduces every artifact **byte-identically**.
+
+Only the registry and provenance types are re-exported here; the orchestrator
+imports :mod:`repro.experiments` (whose modules import this package's
+``artifacts`` module), so it must be imported explicitly to keep the
+dependency graph acyclic.
+"""
+
+from repro.report.artifacts import (
+    KINDS,
+    ArtifactError,
+    ArtifactSpec,
+    ReproContext,
+    artifact_spec,
+    load_artifact_registry,
+    register_artifact,
+    registered_artifacts,
+)
+from repro.report.provenance import (
+    FOOTER_MARKER,
+    STAMP_FORMAT,
+    ProvenanceError,
+    ProvenanceStamp,
+    git_describe,
+    parse_footer,
+)
+
+__all__ = [
+    "KINDS",
+    "ArtifactError",
+    "ArtifactSpec",
+    "ReproContext",
+    "artifact_spec",
+    "load_artifact_registry",
+    "register_artifact",
+    "registered_artifacts",
+    "FOOTER_MARKER",
+    "STAMP_FORMAT",
+    "ProvenanceError",
+    "ProvenanceStamp",
+    "git_describe",
+    "parse_footer",
+]

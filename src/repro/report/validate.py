@@ -1,0 +1,112 @@
+"""Validate a ``repro reproduce-all`` output directory.
+
+``python -m repro.report.validate results`` is what the CI ``reproduce-smoke``
+job runs after a cold ``repro reproduce-all --quick``: it checks that
+
+* ``manifest.json`` exists and lists every artifact in the loaded registry
+  (nothing silently dropped);
+* each artifact's ``data/<name>.json`` and ``<name>.txt`` exist, the stamp in
+  the data file is structurally valid, its source fingerprint matches the
+  checked-out code (stale artifacts cannot masquerade as this tree's output),
+  and the plain-text trailer parses back to the same stamp;
+* ``index.html`` exists and contains an anchor for every artifact plus the
+  performance-trajectory section.
+
+Exit status 0 on success; 1 with a per-problem listing otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.report.artifacts import load_artifact_registry
+from repro.report.provenance import ProvenanceError, ProvenanceStamp, parse_footer
+from repro.sim.store import code_fingerprint
+
+
+def validate_results_dir(out_dir: Path, check_fingerprint: bool = True) -> List[str]:
+    """Return a list of problems (empty means the directory is valid)."""
+    problems: List[str] = []
+    specs = load_artifact_registry()
+    expect = code_fingerprint() if check_fingerprint else None
+
+    manifest_path = out_dir / "manifest.json"
+    manifest = None
+    if not manifest_path.exists():
+        problems.append(f"missing {manifest_path}")
+    else:
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except ValueError as error:
+            problems.append(f"unreadable manifest.json: {error}")
+    listed = (
+        {entry.get("name") for entry in manifest.get("artifacts", [])}
+        if isinstance(manifest, dict)
+        else set()
+    )
+
+    for spec in specs:
+        if manifest is not None and spec.name not in listed:
+            problems.append(f"{spec.name}: registered but absent from manifest.json")
+        data_path = out_dir / "data" / f"{spec.name}.json"
+        text_path = out_dir / f"{spec.name}.txt"
+        if not data_path.exists():
+            problems.append(f"{spec.name}: missing {data_path}")
+            continue
+        if not text_path.exists():
+            problems.append(f"{spec.name}: missing {text_path}")
+            continue
+        try:
+            envelope = json.loads(data_path.read_text())
+            stamp = ProvenanceStamp.from_dict(envelope["provenance"])
+            stamp.validate(expect_fingerprint=expect)
+        except (KeyError, ValueError) as error:
+            problems.append(f"{spec.name}: invalid data-file stamp: {error}")
+            continue
+        try:
+            footer_stamp = parse_footer(text_path.read_text())
+        except ProvenanceError as error:
+            problems.append(f"{spec.name}: invalid text trailer: {error}")
+            continue
+        if footer_stamp != stamp:
+            problems.append(
+                f"{spec.name}: text trailer disagrees with data-file stamp"
+            )
+
+    index_path = out_dir / "index.html"
+    if not index_path.exists():
+        problems.append(f"missing {index_path}")
+    else:
+        html = index_path.read_text()
+        for spec in specs:
+            if f'id="{spec.name}"' not in html:
+                problems.append(f"index.html: no section anchor for {spec.name}")
+        if 'id="perf-trajectory"' not in html:
+            problems.append("index.html: missing performance-trajectory section")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.report.validate <results-dir>", file=sys.stderr)
+        return 2
+    out_dir = Path(argv[0])
+    if not out_dir.is_dir():
+        print(f"error: {out_dir} is not a directory", file=sys.stderr)
+        return 2
+    problems = validate_results_dir(out_dir)
+    if problems:
+        print(f"{len(problems)} problem(s) in {out_dir}:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    specs = load_artifact_registry()
+    print(f"{out_dir}: {len(specs)} artifacts validated (stamps, files, anchors ok)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

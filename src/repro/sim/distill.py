@@ -27,6 +27,17 @@ geometry only* (:func:`events_key`) -- protection mode, memory latencies and
 engine options do not appear in the key -- so one pre-pass feeds every mode
 of a suite, in this process (the store's memory layer), across processes
 (``.repro_cache/``), and across shard chains.
+
+**Exactness contract.**  Distillation is an execution strategy, not a model
+change: for every registered mode, at every shard width, a distilled run
+produces counters *bit-identical* -- every integer and every float -- to the
+full per-access replay (pinned by ``tests/sim/test_distill.py``, including
+hypothesis-generated traces).  Because the results are identical, distilled
+and undistilled runs **share persistent-store keys**: whether distillation
+ran never appears in a result's key, a cached undistilled suite serves a
+distilled request and vice versa, and ``repro reproduce-all`` provenance
+stamps are strategy-independent.  Any change that breaks this identity must
+either be fixed or become a separately-keyed, explicitly-opt-in path.
 """
 
 from __future__ import annotations

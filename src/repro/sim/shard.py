@@ -24,6 +24,17 @@ maximum fan-out, no handoff serialization.  That path is approximate (cold
 MAC/stealth/tree caches are only warmed, not reproduced) and is gated by the
 declared :data:`WARMUP_DRIFT_GATE`: the differential suite pins the merged
 execution time within the gate of the serial engine.
+
+**Exactness contract.**  Checkpointed sharding is an execution strategy, not
+a model change: for every registered mode, at every shard width, the merged
+result is *bit-identical* -- every counter, floats included -- to the serial
+unsharded engine (pinned by ``tests/sim/test_sharding.py`` and the committed
+golden fixtures).  Because the results are identical, sharded and unsharded
+runs **share persistent-store keys**: the shard width never appears in a
+result's key, a cached unsharded suite serves a sharded request and vice
+versa, and ``repro reproduce-all`` provenance stamps are
+strategy-independent.  Only the approximate warm-up path is keyed
+separately, precisely because it breaks this identity.
 """
 
 from __future__ import annotations

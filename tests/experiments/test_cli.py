@@ -22,7 +22,7 @@ class TestParser:
         assert set(cli.EXPERIMENTS) == {
             "table1", "table2", "table3", "table4",
             "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-            "fresh-scale", "sec62",
+            "fresh-scale", "sec62", "ablations",
         }
 
     def test_jobs_flag_parsed(self):
@@ -39,6 +39,20 @@ class TestParser:
     def test_no_cache_flag_parsed(self):
         args = cli.build_parser().parse_args(["bench", "--no-cache"])
         assert args.no_cache is True
+
+    def test_reproduce_all_flags_parsed(self):
+        args = cli.build_parser().parse_args(["reproduce-all", "--from-store"])
+        assert args.experiment == "reproduce-all"
+        assert args.from_store is True
+        assert args.accesses is None  # tier budgets decide unless given
+
+    def test_from_store_requires_reproduce_all(self):
+        with pytest.raises(SystemExit):
+            cli.main(["bench", "--from-store"])
+
+    def test_quick_and_full_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            cli.main(["reproduce-all", "--quick", "--full"])
 
 
 class TestBenchmarkResolution:
@@ -76,6 +90,44 @@ class TestRendering:
     def test_sec62_static_render(self, capsys):
         assert cli.main(["sec62"]) == 0
         assert "Section 6.2" in capsys.readouterr().out
+
+    def test_ablations_render_with_tiny_run(self, capsys):
+        assert cli.main(
+            ["ablations", "--benchmarks", "memcached", "--accesses", "3000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ablation" in out.lower()
+
+
+class TestReproduceAll:
+    def test_tiny_reproduce_all_end_to_end(self, tmp_path, capsys, monkeypatch):
+        # reproduce-all reads BENCH_*.json from the cwd; pin it so the run is
+        # hermetic regardless of where pytest was launched.
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "results"
+        assert cli.main(
+            ["reproduce-all", "--benchmarks", "bsw", "--accesses", "1200",
+             "--out", str(out)]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "artifacts (quick tier)" in stdout
+        assert (out / "index.html").exists()
+        assert (out / "manifest.json").exists()
+        assert (out / "data" / "fig6.json").exists()
+
+        # --from-store re-render over the data just written: zero simulation.
+        assert cli.main(
+            ["reproduce-all", "--from-store", "--benchmarks", "bsw",
+             "--accesses", "1200", "--out", str(out)]
+        ) == 0
+        assert "from store" in capsys.readouterr().out
+
+    def test_from_store_without_data_is_a_clean_error(self, tmp_path, capsys):
+        assert cli.main(
+            ["reproduce-all", "--from-store", "--out", str(tmp_path / "nothing")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "no precomputed data" in err and "Traceback" not in err
 
 
 class TestList:

@@ -1,0 +1,121 @@
+"""Provenance stamps: round-trips, validation and the no-timestamp rule."""
+
+import dataclasses
+
+import pytest
+
+from repro.report.provenance import (
+    FOOTER_MARKER,
+    STAMP_FORMAT,
+    ProvenanceError,
+    ProvenanceStamp,
+    git_describe,
+    parse_footer,
+)
+from repro.sim.store import code_fingerprint
+
+
+def make_stamp(**overrides):
+    base = dict(
+        artifact="fig6",
+        kind="figure",
+        tier="quick",
+        seed=1234,
+        modes=("NoProtect", "CI", "Toleo"),
+        store_keys=("suite-abc123", "suite-def456"),
+        params={"benchmarks": ["bsw", "pr"], "scale": 0.002, "num_accesses": 20000},
+        source_fingerprint="f" * 64,
+        git="abc1234",
+    )
+    base.update(overrides)
+    return ProvenanceStamp(**base)
+
+
+class TestCreate:
+    def test_create_fills_environment_fields(self):
+        stamp = ProvenanceStamp.create(
+            artifact="t", kind="table", tier="quick", seed=1,
+            modes=["Toleo"], store_keys=["suite-x1"],
+        )
+        assert stamp.source_fingerprint == code_fingerprint()
+        assert stamp.git == git_describe()
+        assert stamp.format == STAMP_FORMAT
+        stamp.validate()
+
+    def test_git_describe_never_empty(self):
+        assert git_describe()  # "unknown" fallback at worst
+
+
+class TestDictRoundTrip:
+    def test_to_from_dict_is_lossless(self):
+        stamp = make_stamp()
+        assert ProvenanceStamp.from_dict(stamp.to_dict()) == stamp
+
+    def test_dict_contains_no_timestamp_like_field(self):
+        # The byte-identical --from-store guarantee rests on this.
+        payload = make_stamp().to_dict()
+        for key in payload:
+            assert "time" not in key.lower() and "date" not in key.lower()
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(ProvenanceError):
+            ProvenanceStamp.from_dict({"artifact": "x"})
+
+
+class TestFooterRoundTrip:
+    def test_footer_parse_is_lossless(self):
+        stamp = make_stamp()
+        assert parse_footer(stamp.footer()) == stamp
+
+    def test_footer_round_trip_without_store_keys(self):
+        stamp = make_stamp(store_keys=(), modes=())
+        recovered = parse_footer(stamp.footer())
+        assert recovered.store_keys == ()
+        assert recovered.modes == ()
+        assert recovered == stamp
+
+    def test_footer_parses_when_appended_to_artifact_text(self):
+        stamp = make_stamp()
+        text = "Figure 6: slowdowns\n  row row row\n\n" + stamp.footer()
+        assert parse_footer(text) == stamp
+
+    def test_footer_marker_present(self):
+        assert FOOTER_MARKER in make_stamp().footer()
+
+    def test_text_without_footer_raises(self):
+        with pytest.raises(ProvenanceError):
+            parse_footer("just a table\nno trailer here\n")
+
+
+class TestValidate:
+    def test_valid_stamp_passes(self):
+        make_stamp().validate()
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ProvenanceError, match="format"):
+            make_stamp(format=STAMP_FORMAT + 1).validate()
+
+    @pytest.mark.parametrize("field", ["artifact", "kind", "tier", "source_fingerprint", "git"])
+    def test_empty_required_field_rejected(self, field):
+        with pytest.raises(ProvenanceError, match=field):
+            make_stamp(**{field: ""}).validate()
+
+    def test_non_int_seed_rejected(self):
+        stamp = dataclasses.replace(make_stamp(), seed="1234")
+        with pytest.raises(ProvenanceError, match="seed"):
+            stamp.validate()
+
+    def test_malformed_store_key_rejected(self):
+        with pytest.raises(ProvenanceError, match="store key"):
+            make_stamp(store_keys=("nodash",)).validate()
+
+    def test_fingerprint_pin_matches(self):
+        make_stamp(source_fingerprint=code_fingerprint()).validate(
+            expect_fingerprint=code_fingerprint()
+        )
+
+    def test_fingerprint_mismatch_rejected(self):
+        with pytest.raises(ProvenanceError, match="does not match"):
+            make_stamp(source_fingerprint="0" * 64).validate(
+                expect_fingerprint=code_fingerprint()
+            )
