@@ -1,21 +1,27 @@
 #!/usr/bin/env python3
-"""Measure suite replay throughput, distilled vs. undistilled.
+"""Measure suite replay throughput: undistilled vs. distilled vs. vectorized.
 
-Runs the benchmark suite twice with all registered protection modes against
-*fresh, cold* persistent stores -- once with miss-event distillation
-disabled (every mode replays every access through the cache hierarchy) and
-once with it enabled (the hierarchy is paid once per benchmark, modes replay
-from the distilled event stream) -- and emits the measured wall times,
-accesses/s and speedup as JSON (``BENCH_PR5.json`` by default).
+Runs the benchmark suite three times with all registered protection modes
+against *fresh, cold* persistent stores:
 
-Both passes bypass the result cache and run against their own temporary
-store directory, so the numbers are honest cold-run figures: the distilled
-pass includes the cost of the pre-pass and of persisting the event streams.
+- ``undistilled``: every mode replays every access through the cache
+  hierarchy (the pre-distillation baseline);
+- ``distilled``: the hierarchy is paid once per benchmark, modes replay the
+  distilled event stream through the scalar per-event loop;
+- ``vectorized``: the distilled replay additionally runs through the numpy
+  batch kernels, with the MAC-cache tier precomputed once per benchmark.
+
+Each pass records per-stage wall times (``distill`` / ``mac_tier`` /
+``replay``) so regressions can be localised; a pass's ``seconds`` is the sum
+of its stages.  All passes bypass the result cache and run against their own
+temporary store directory, so the numbers are honest cold-run figures: the
+distilled and vectorized passes include the cost of the pre-passes and of
+persisting the event streams and MAC tiers.
 
 Usage:
     python scripts/bench_throughput.py                    # quick suite
     python scripts/bench_throughput.py --jobs 4 --accesses 20000
-    python scripts/bench_throughput.py --out BENCH_PR5.json
+    python scripts/bench_throughput.py --out BENCH_PR7.json
 """
 
 from __future__ import annotations
@@ -34,17 +40,44 @@ sys.path.insert(
 
 from repro.experiments.harness import QUICK_BENCHMARKS, run_benchmarks
 from repro.sim.configs import BASELINE_MODE, registered_modes
+from repro.sim.distill import distilled_events
+from repro.sim.replaycore import HAVE_NUMPY, distilled_mac_tier
 from repro.sim.store import ResultStore, set_default_store
 
 
 def timed_pass(
-    benchmarks, modes, accesses: int, scale: float, seed: int, jobs: int, distill: bool
+    benchmarks,
+    modes,
+    accesses: int,
+    scale: float,
+    seed: int,
+    jobs: int,
+    distill: bool,
+    vector: bool,
 ) -> dict:
-    """One cold suite run against a fresh store; returns its measurements."""
+    """One cold suite run against a fresh store; returns its measurements.
+
+    The shared pre-passes are timed as their own stages (warming the store
+    first), so the ``replay`` stage measures replay alone while ``seconds``
+    still charges the pass for everything it computed.
+    """
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
         store = ResultStore(cache_dir)
         set_default_store(store)
         try:
+            stages: dict = {}
+            if distill:
+                started = time.perf_counter()
+                streams = [
+                    distilled_events(name, scale, seed, accesses, None, store=store)
+                    for name in benchmarks
+                ]
+                stages["distill"] = round(time.perf_counter() - started, 3)
+                if vector:
+                    started = time.perf_counter()
+                    for events in streams:
+                        distilled_mac_tier(events, None, store=store)
+                    stages["mac_tier"] = round(time.perf_counter() - started, 3)
             started = time.perf_counter()
             suite = run_benchmarks(
                 benchmarks,
@@ -56,13 +89,16 @@ def timed_pass(
                 jobs=jobs,
                 store=store,
                 distill=distill,
+                vector=vector,
             )
-            elapsed = time.perf_counter() - started
+            stages["replay"] = round(time.perf_counter() - started, 3)
         finally:
             set_default_store(None)
+    elapsed = sum(stages.values())
     replayed = len(suite) * (len(modes) + 1) * accesses  # + NoProtect baseline
     return {
         "seconds": round(elapsed, 3),
+        "stages": stages,
         "replayed_accesses": replayed,
         "accesses_per_second": round(replayed / elapsed) if elapsed > 0 else 0,
     }
@@ -75,16 +111,30 @@ def main() -> int:
     parser.add_argument("--scale", type=float, default=0.002)
     parser.add_argument("--seed", type=int, default=1234)
     parser.add_argument("--jobs", "-j", type=int, default=4)
-    parser.add_argument("--out", default="BENCH_PR5.json")
+    parser.add_argument("--out", default="BENCH_PR7.json")
     args = parser.parse_args()
+
+    if not HAVE_NUMPY:
+        print("numpy is not installed; the vectorized pass would silently degrade", file=sys.stderr)
+        return 1
 
     modes = tuple(m for m in registered_modes() if m != BASELINE_MODE)
     undistilled = timed_pass(
-        args.benchmarks, modes, args.accesses, args.scale, args.seed, args.jobs, False
+        args.benchmarks, modes, args.accesses, args.scale, args.seed, args.jobs, False, False
     )
     distilled = timed_pass(
-        args.benchmarks, modes, args.accesses, args.scale, args.seed, args.jobs, True
+        args.benchmarks, modes, args.accesses, args.scale, args.seed, args.jobs, True, False
     )
+    vectorized = timed_pass(
+        args.benchmarks, modes, args.accesses, args.scale, args.seed, args.jobs, True, True
+    )
+
+    def speedup(baseline: dict, contender: dict) -> float:
+        return (
+            round(baseline["seconds"] / contender["seconds"], 2)
+            if contender["seconds"] > 0
+            else 0.0
+        )
 
     payload = {
         "settings": {
@@ -97,9 +147,9 @@ def main() -> int:
         },
         "undistilled": undistilled,
         "distilled": distilled,
-        "speedup": round(undistilled["seconds"] / distilled["seconds"], 2)
-        if distilled["seconds"] > 0
-        else 0.0,
+        "vectorized": vectorized,
+        "speedup": speedup(undistilled, distilled),
+        "vectorized_speedup": speedup(undistilled, vectorized),
     }
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -109,8 +159,9 @@ def main() -> int:
     print(
         f"\n{len(args.benchmarks)} benchmarks x {len(modes) + 1} modes x "
         f"{args.accesses} accesses: "
-        f"{undistilled['seconds']:.2f}s -> {distilled['seconds']:.2f}s "
-        f"({payload['speedup']:.2f}x), written to {args.out}"
+        f"{undistilled['seconds']:.2f}s -> {distilled['seconds']:.2f}s distilled "
+        f"({payload['speedup']:.2f}x) -> {vectorized['seconds']:.2f}s vectorized "
+        f"({payload['vectorized_speedup']:.2f}x), written to {args.out}"
     )
     return 0
 

@@ -9,6 +9,11 @@ exactly; the tolerance (default 10%) exists to absorb *intentional* model
 refinements while catching accidental drift -- a cache sized wrong, a latency
 dropped from the critical path, a workload generator change.
 
+Before the baseline comparison the suite is run four ways -- plain, sharded,
+distilled, and vectorized -- and all four must agree *identically*: the
+execution strategies are exactness-preserving by contract, so any divergence
+is an execution-path bug, not drift.
+
 Usage:
     python scripts/check_bench_regression.py            # gate (exit 1 on drift)
     python scripts/check_bench_regression.py --update   # re-record the baseline
@@ -62,7 +67,7 @@ def _slowdowns(suite: dict) -> dict:
     }
 
 
-def measure(jobs: int, shard_size: int = 0, distill: bool = False) -> dict:
+def measure(jobs: int, shard_size: int = 0, distill: bool = False, vector: bool = False) -> dict:
     """Current slowdown ratios for every (benchmark, gated mode) pair."""
     suite = run_benchmarks(
         QUICK_BENCHMARKS,
@@ -74,6 +79,7 @@ def measure(jobs: int, shard_size: int = 0, distill: bool = False) -> dict:
         jobs=jobs,
         shard_size=shard_size or None,
         distill=distill,
+        vector=vector,
     )
     return _slowdowns(suite)
 
@@ -98,12 +104,19 @@ def main() -> int:
     current = measure(args.jobs)
     sharded = measure(args.jobs, shard_size=SETTINGS["shard_size"])
     distilled = measure(args.jobs, distill=True)
+    vectorized = measure(args.jobs, distill=True, vector=True)
 
-    # The sharded pass uses the exact checkpoint-handoff discipline and the
-    # distilled pass replays every mode from the shared miss-event stream;
-    # both must match the plain run *identically* -- any difference is an
-    # execution-path bug, gated before the baseline comparison even runs.
-    for label, variant in (("sharded", sharded), ("distilled", distilled)):
+    # The sharded pass uses the exact checkpoint-handoff discipline, the
+    # distilled pass replays every mode from the shared miss-event stream,
+    # and the vectorized pass additionally routes that replay through the
+    # numpy batch kernels; all must match the plain run *identically* -- any
+    # difference is an execution-path bug, gated before the baseline
+    # comparison even runs.
+    for label, variant in (
+        ("sharded", sharded),
+        ("distilled", distilled),
+        ("vectorized", vectorized),
+    ):
         if variant != current:
             print(f"REGRESSION GATE FAILED: {label} run diverged from plain run")
             for bench in sorted(set(current) | set(variant)):
@@ -122,6 +135,7 @@ def main() -> int:
                     "slowdowns": current,
                     "sharded_slowdowns": sharded,
                     "distilled_slowdowns": distilled,
+                    "vectorized_slowdowns": vectorized,
                 },
                 handle,
                 indent=2,
@@ -148,6 +162,7 @@ def main() -> int:
         ("slowdowns", current),
         ("sharded_slowdowns", sharded),
         ("distilled_slowdowns", distilled),
+        ("vectorized_slowdowns", vectorized),
     ]
     for section, measured in sections:
         recorded = baseline.get(section)

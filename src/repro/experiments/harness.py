@@ -100,6 +100,7 @@ def run_benchmarks(
     shard_size: Optional[int] = None,
     shard_warmup: Optional[int] = None,
     distill: bool = True,
+    vector: bool = True,
 ) -> SuiteResults:
     """Run (or fetch from the persistent store) the benchmark suite.
 
@@ -121,6 +122,13 @@ def run_benchmarks(
     Results are bit-identical to the undistilled engine, so the suite cache
     key is deliberately independent of ``distill`` too: distilled and
     undistilled runs serve each other's store entries.
+
+    ``vector`` (the default) batches each distilled replay through the numpy
+    kernels of :mod:`repro.sim.replaycore` for the modes that support it,
+    with the MAC-cache lookup sequence distilled once per mode family.
+    Still bit-identical, still the same cache key -- vectorized, distilled
+    and plain runs all serve each other's store entries -- and it silently
+    degrades to the scalar replay when numpy is unavailable.
     """
     names = tuple(benchmarks) if benchmarks is not None else QUICK_BENCHMARKS
     if use_cache is None:
@@ -163,6 +171,7 @@ def run_benchmarks(
             options=options,
             jobs=jobs,
             distill=distill,
+            vector=vector,
         )
     elif jobs != 1:
         results = run_suite_parallel(
@@ -175,6 +184,7 @@ def run_benchmarks(
             options=options,
             jobs=jobs,
             distill=distill,
+            vector=vector,
         )
     else:
         results = run_suite(
@@ -186,6 +196,7 @@ def run_benchmarks(
             config=config,
             options=options,
             distill=distill,
+            vector=vector,
         )
     if use_cache:
         store.put(key, results, encoder=_encode_suite)

@@ -78,6 +78,25 @@ def _meta_table(rows: Sequence[tuple]) -> str:
     return f'<table class="meta">\n{cells}\n</table>'
 
 
+#: Known per-pass stages, rendered in pipeline order; unknown stage names
+#: (future records) follow alphabetically so the output stays deterministic.
+_STAGE_ORDER = ("distill", "mac_tier", "replay")
+
+
+def _stage_breakdown(data: Mapping[str, Any]) -> str:
+    """``distill 0.1s + replay 2.9s`` from a pass's ``stages`` dict.
+
+    Records that predate per-stage timing (``BENCH_PR5.json``) have no
+    ``stages`` key and render an empty cell.
+    """
+    stages = data.get("stages")
+    if not isinstance(stages, Mapping) or not stages:
+        return ""
+    known = [name for name in _STAGE_ORDER if name in stages]
+    extra = sorted(name for name in stages if name not in _STAGE_ORDER)
+    return " + ".join(f"{name} {stages[name]}s" for name in known + extra)
+
+
 def _bench_section(records: Sequence[Mapping[str, Any]]) -> str:
     if not records:
         return (
@@ -86,24 +105,30 @@ def _bench_section(records: Sequence[Mapping[str, Any]]) -> str:
         )
     header = (
         "<tr><th>record</th><th>configuration</th><th>wall&nbsp;time&nbsp;(s)</th>"
-        "<th>accesses/s</th><th>speedup</th></tr>"
+        "<th>stage&nbsp;breakdown</th><th>accesses/s</th><th>speedup</th></tr>"
     )
     rows: List[str] = []
     for record in records:
         name = escape(str(record.get("_file", "?")))
-        speedup = record.get("speedup", "")
-        for variant in ("undistilled", "distilled"):
+        # Each variant's speedup is relative to the record's undistilled run.
+        variant_speedups = {
+            "distilled": record.get("speedup", ""),
+            "vectorized": record.get("vectorized_speedup", ""),
+        }
+        for variant in ("undistilled", "distilled", "vectorized"):
             data = record.get(variant)
             if not isinstance(data, Mapping):
                 continue
             rate = data.get("accesses_per_second", 0)
             rate_text = f"{rate:,}" if isinstance(rate, (int, float)) else str(rate)
-            speedup_text = f"{speedup}x" if variant == "distilled" and speedup else ""
+            speedup = variant_speedups.get(variant, "")
+            speedup_text = f"{speedup}x" if speedup else ""
             rows.append(
                 "<tr>"
                 f"<td>{name}</td>"
                 f"<td>{escape(variant)}</td>"
                 f"<td>{escape(str(data.get('seconds', '')))}</td>"
+                f"<td>{escape(_stage_breakdown(data))}</td>"
                 f"<td>{escape(rate_text)}</td>"
                 f"<td>{escape(speedup_text)}</td>"
                 "</tr>"

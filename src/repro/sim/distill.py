@@ -53,6 +53,13 @@ from repro.core.config import CacheConfig, SystemConfig
 from repro.sim.store import ResultStore, content_key, default_store
 from repro.workloads.base import Trace
 
+try:  # numpy is optional: without it the column views (and the vectorized
+    # replay core built on them) are unavailable and everything falls back
+    # to the scalar event replay -- exact either way.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-free installs
+    _np = None
+
 #: Sentinel in ``writeback_addresses`` for events that evicted no dirty line.
 #: Real addresses are far below it (the synthetic address space tops out at
 #: the counter-tree metadata region around 2^45).
@@ -115,6 +122,46 @@ class MissEventStream:
             self.indices, self.addresses, self.writes, self.writeback_addresses
         ):
             yield i, address, bool(write), None if wb == WB_NONE else wb
+
+    def _column(self, buffer, dtype) -> "_np.ndarray":
+        if _np is None:
+            raise RuntimeError(
+                "numpy is required for the packed column views; "
+                "install it or iterate events() instead"
+            )
+        view = _np.frombuffer(buffer, dtype=dtype)
+        view.flags.writeable = False
+        return view
+
+    @property
+    def index_view(self) -> "_np.ndarray":
+        """Zero-copy ``uint64`` view of the global event indices.
+
+        All four ``*_view`` properties wrap the packed builtin arrays with
+        ``np.frombuffer`` -- no copy, read-only.  Taking a view exports the
+        underlying buffer, so appending to the stream while any view is alive
+        raises ``BufferError``; take views only from fully built streams
+        (every stream handed to the replay path already is).
+        """
+        return self._column(self.indices, _np.uint64)
+
+    @property
+    def address_view(self) -> "_np.ndarray":
+        """Zero-copy ``uint64`` view of the miss addresses."""
+        return self._column(self.addresses, _np.uint64)
+
+    @property
+    def write_view(self) -> "_np.ndarray":
+        """Zero-copy ``uint8`` view of the demand-write flags."""
+        return self._column(self.writes, _np.uint8)
+
+    @property
+    def writeback_view(self) -> "_np.ndarray":
+        """Zero-copy ``uint64`` view of the writeback addresses.
+
+        Events without a dirty eviction hold :data:`WB_NONE`.
+        """
+        return self._column(self.writeback_addresses, _np.uint64)
 
     def instruction_count(self, num_accesses: int, llc_misses: Optional[int] = None) -> int:
         """Identical calibration to :meth:`Trace.instruction_count`, so the

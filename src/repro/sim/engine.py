@@ -600,6 +600,7 @@ def compare_modes(
     seed: int = 0,
     reuse_trace: bool = True,
     distill: bool = False,
+    vector: bool = False,
 ) -> Dict[str, SimulationResult]:
     """Run one workload under several configurations with a shared baseline.
 
@@ -618,11 +619,19 @@ def compare_modes(
     stays off so this function remains the undistilled reference the
     differential tests compare against; the experiment harness turns it on.
 
+    ``vector`` additionally routes each distilled replay through the numpy
+    batch kernels of :mod:`repro.sim.replaycore` when the mode's component
+    stack supports it (still bit-identical); it only applies on the
+    ``distill`` path and silently degrades to the scalar event replay when
+    numpy is unavailable or a component type is unknown.
+
     ``NOPROTECT`` always *runs* first (it provides the baseline time every
     other result's slowdown is reported against), but the returned dict
     contains only the requested modes -- the baseline result no longer leaks
     into callers that did not ask for it.
     """
+    from repro.sim import replaycore
+
     results: Dict[str, SimulationResult] = {}
     baseline_time: Optional[float] = None
 
@@ -633,6 +642,17 @@ def compare_modes(
         if distill:
             events = HierarchyDistiller(config).distill(trace, num_accesses)
 
+    # The events were distilled in-process, so the shared MAC tier is too
+    # (no store round-trip): one tier serves every MAC-bearing mode below.
+    tier = None
+    if (
+        vector
+        and events is not None
+        and replaycore.HAVE_NUMPY
+        and any(mode_parameters(mode).mac_traffic for mode in ordered_modes(modes))
+    ):
+        tier = replaycore.compute_mac_tier(events, config)
+
     requested = {mode_label(mode) for mode in modes}
     for mode in ordered_modes(modes):
         engine = SimulationEngine.from_mode(mode, config=config, options=options, seed=seed)
@@ -640,7 +660,10 @@ def compare_modes(
         if events is not None:
             state = engine.begin(events, num_accesses)
             if engine.distillable(state.components):
-                engine.replay_events(state, events)
+                if vector and replaycore.vectorizable(state.components):
+                    replaycore.BatchReplayEngine(engine, events, tier=tier).replay(state)
+                else:
+                    engine.replay_events(state, events)
             else:
                 engine.replay(state, subject)
             result = engine.finish(state, subject, baseline_time_ns=baseline_time)
@@ -671,12 +694,15 @@ def run_suite(
     options: Optional[EngineOptions] = None,
     reuse_trace: bool = True,
     distill: bool = False,
+    vector: bool = False,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run a list of named benchmarks under the requested configurations.
 
     ``distill`` (off by default, so this stays the reference serial path the
     golden fixtures regenerate from) pays each benchmark's cache hierarchy
-    once and replays the remaining modes from the distilled event stream.
+    once and replays the remaining modes from the distilled event stream;
+    ``vector`` further batches the distilled replay through the numpy
+    kernels (see :func:`compare_modes`).
     """
     from repro.workloads.registry import get_workload
 
@@ -691,6 +717,7 @@ def run_suite(
             seed=seed,
             reuse_trace=reuse_trace,
             distill=distill,
+            vector=vector,
         )
     return suite
 

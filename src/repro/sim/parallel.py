@@ -47,10 +47,13 @@ from repro.sim.results import SimulationResult, SuiteResults
 #: so runtime registry customisations in the parent process reach workers
 #: even under the spawn start method, where workers re-import the package
 #: and would otherwise resolve modes against a fresh default registry.
-#: The trailing flag selects miss-event distillation: the worker replays the
-#: mode from the benchmark's distilled event stream (computed once per
-#: process and shared through the persistent store) instead of pushing every
-#: access through the cache hierarchy again -- bit-identical either way.
+#: The first trailing flag selects miss-event distillation: the worker
+#: replays the mode from the benchmark's distilled event stream (computed
+#: once per process and shared through the persistent store) instead of
+#: pushing every access through the cache hierarchy again; the second routes
+#: that replay through the numpy batch kernels of
+#: :mod:`repro.sim.replaycore` when the stack supports it -- bit-identical
+#: on every path.
 SuiteTask = Tuple[
     str,
     ModeParameters,
@@ -59,6 +62,7 @@ SuiteTask = Tuple[
     int,
     Optional[SystemConfig],
     Optional[EngineOptions],
+    bool,
     bool,
 ]
 
@@ -184,16 +188,20 @@ def _run_suite_task(task: SuiteTask) -> SimulationResult:
     event-driven fall back to the full per-access replay -- results are
     bit-identical on both paths.
     """
+    from repro.sim import replaycore
     from repro.sim.distill import distilled_events
     from repro.workloads.registry import capture_trace
 
-    name, params, scale, num_accesses, seed, config, options, distill = task
+    name, params, scale, num_accesses, seed, config, options, distill, vector = task
     engine = SimulationEngine(params, config=config, options=options, seed=seed)
     if distill:
         events = distilled_events(name, scale, seed, num_accesses, config)
         state = engine.begin(events, num_accesses)
         if engine.distillable(state.components):
-            engine.replay_events(state, events)
+            if vector and replaycore.vectorizable(state.components):
+                replaycore.BatchReplayEngine(engine, events).replay(state)
+            else:
+                engine.replay_events(state, events)
             return engine.finish(state, events)
     trace = capture_trace(name, scale=scale, seed=seed, num_accesses=num_accesses)
     return engine.run(trace, num_accesses=num_accesses)
@@ -208,6 +216,7 @@ def suite_tasks(
     config: Optional[SystemConfig] = None,
     options: Optional[EngineOptions] = None,
     distill: bool = True,
+    vector: bool = True,
 ) -> List[SuiteTask]:
     """Enumerate one suite's tasks benchmark-major, mode-minor (serial order).
 
@@ -215,7 +224,17 @@ def suite_tasks(
     provides the baseline time the merge stitches into every result.
     """
     return [
-        (name, mode_parameters(mode), scale, num_accesses, seed, config, options, distill)
+        (
+            name,
+            mode_parameters(mode),
+            scale,
+            num_accesses,
+            seed,
+            config,
+            options,
+            distill,
+            vector,
+        )
         for name in names
         for mode in ordered_modes(modes)
     ]
@@ -258,6 +277,7 @@ def run_suite_parallel(
     options: Optional[EngineOptions] = None,
     jobs: Optional[int] = None,
     distill: bool = True,
+    vector: bool = True,
 ) -> SuiteResults:
     """Run the benchmark suite with (benchmark, mode) pairs fanned out.
 
@@ -265,8 +285,10 @@ def run_suite_parallel(
     nesting, same iteration order, same numbers -- but with the independent
     simulations spread over ``jobs`` worker processes.  ``distill`` (the
     default) replays each mode from the benchmark's shared miss-event stream
-    instead of re-simulating the cache hierarchy per mode; pass ``False`` to
-    force the full per-access replay (the results are identical).
+    instead of re-simulating the cache hierarchy per mode; ``vector`` (also
+    the default) batches that replay through the numpy kernels for the modes
+    that support it.  Pass ``False`` to force the slower paths -- the
+    results are identical on all of them.
     """
     names = list(benchmark_names)
     if distill:
@@ -275,12 +297,23 @@ def run_suite_parallel(
         # replay without capturing a trace or re-running the pre-pass (spawn
         # workers read the entry back from disk).  Without this, the first
         # wave of workers -- all landing on the same benchmark's modes --
-        # would each distill it concurrently.
+        # would each distill it concurrently.  The MAC tier (shared by every
+        # MAC-bearing mode) is precomputed here for the same reason.
+        from repro.sim import replaycore
         from repro.sim.distill import distilled_events
 
+        precompute_tier = (
+            vector
+            and replaycore.HAVE_NUMPY
+            and any(mode_parameters(mode).mac_traffic for mode in ordered_modes(modes))
+        )
         for name in names:
-            distilled_events(name, scale, seed, num_accesses, config)
-    tasks = suite_tasks(names, modes, scale, num_accesses, seed, config, options, distill)
+            events = distilled_events(name, scale, seed, num_accesses, config)
+            if precompute_tier:
+                replaycore.distilled_mac_tier(events, config)
+    tasks = suite_tasks(
+        names, modes, scale, num_accesses, seed, config, options, distill, vector
+    )
     results = parallel_map(_run_suite_task, tasks, jobs=jobs)
     return merge_suite_results(tasks, results, modes)
 

@@ -132,8 +132,9 @@ def shard_bounds(total: int, shard_size: int) -> List[Tuple[int, int]]:
 #: shard window and (for the warm-up path) the warm-up length.  The resolved
 #: ModeParameters travel in the task for the same reason they do in
 #: ``SuiteTask``: runtime registrations must reach spawn-context workers.
-#: The trailing flag selects miss-event distillation for the exact path
-#: (each window replays from the shared distilled event stream).
+#: The trailing flags select miss-event distillation for the exact path
+#: (each window replays from the shared distilled event stream) and the
+#: vectorized batch replay on top of it (``repro.sim.replaycore``).
 ShardTask = Tuple[
     str,  # benchmark name
     ModeParameters,
@@ -146,6 +147,7 @@ ShardTask = Tuple[
     int,  # window stop
     Optional[int],  # warmup (None on the exact path)
     bool,  # distill (exact path only)
+    bool,  # vector (exact distilled path only)
 ]
 
 
@@ -179,11 +181,18 @@ def run_shard_step(task: ShardTask, carry: Optional[bytes]) -> Any:
     a chain reuse it) instead of pushing the window's accesses through the
     hierarchy again; modes that cannot be event-driven fall back to the full
     replay.  Both paths produce the identical checkpoint sequence.
+
+    The vector flag further batches each distilled window through the numpy
+    kernels.  The flag is constant across a chain, so a chain is replayed
+    with one strategy end to end -- the direction the batch path supports
+    (a vectorized checkpoint leaves component caches untouched and must not
+    be resumed by the scalar replay; see ``repro.sim.replaycore``).
     """
+    from repro.sim import replaycore
     from repro.sim.distill import distilled_events
 
     name, params, scale, num_accesses, seed, config, options = task[:7]
-    start, stop, distill = task[7], task[8], task[10]
+    start, stop, distill, vector = task[7], task[8], task[10], task[11]
     engine = SimulationEngine(params, config=config, options=options, seed=seed)
 
     events = None
@@ -203,7 +212,10 @@ def run_shard_step(task: ShardTask, carry: Optional[bytes]) -> Any:
             f"but this shard's window starts at {start}"
         )
     if events is not None and engine.distillable(state.components):
-        engine.replay_events(state, events, stop=stop)
+        if vector and replaycore.vectorizable(state.components):
+            replaycore.BatchReplayEngine(engine, events).replay(state, stop=stop)
+        else:
+            engine.replay_events(state, events, stop=stop)
         subject: Any = events
     else:
         _, trace = _task_engine_and_trace(task)
@@ -400,6 +412,7 @@ def shard_chain(
     config: Optional[SystemConfig] = None,
     options: Optional[EngineOptions] = None,
     distill: bool = False,
+    vector: bool = False,
 ) -> List[ShardTask]:
     """One (benchmark, mode) pair's shard tasks, in window order."""
     params = mode_parameters(mode)
@@ -417,6 +430,7 @@ def shard_chain(
             stop,
             spec.warmup,
             exact_distill,
+            vector and exact_distill,
         )
         for start, stop in shard_bounds(num_accesses, spec.shard_size)
     ]
@@ -432,6 +446,7 @@ def run_sharded(
     seed: int = 0,
     baseline_time_ns: Optional[float] = None,
     distill: bool = False,
+    vector: bool = False,
 ) -> SimulationResult:
     """Run one captured trace under one mode, shard by shard, in-process.
 
@@ -441,8 +456,11 @@ def run_sharded(
     ships between processes) and the result is bit-identical to
     ``SimulationEngine.run`` on the same trace.  ``distill`` additionally
     routes every distillable window through the event-replay path -- same
-    checkpoints, same result, one hierarchy pass total.
+    checkpoints, same result, one hierarchy pass total.  ``vector`` batches
+    each distilled window through the numpy kernels on top of that (again
+    bit-identical; silently scalar when the stack does not support it).
     """
+    from repro.sim import replaycore
     from repro.sim.distill import HierarchyDistiller
 
     params = mode_parameters(mode)
@@ -452,6 +470,13 @@ def run_sharded(
 
     if spec.exact:
         events = HierarchyDistiller(config).distill(trace, total) if distill else None
+        replayer = None
+        if vector and events is not None and replaycore.HAVE_NUMPY:
+            # The events were distilled in-process (no store), so the MAC
+            # tier is computed in-process too instead of round-tripping
+            # through the default store.
+            tier = replaycore.compute_mac_tier(events, config) if params.mac_traffic else None
+            replayer = replaycore.BatchReplayEngine(engine, events, tier=tier)
         carry: Optional[bytes] = None
         state: Optional[EngineState] = None
         for _, stop in bounds:
@@ -461,7 +486,10 @@ def run_sharded(
                 else EngineState.deserialize(carry)
             )
             if events is not None and engine.distillable(state.components):
-                engine.replay_events(state, events, stop=stop)
+                if replayer is not None and replaycore.vectorizable(state.components):
+                    replayer.replay(state, stop=stop)
+                else:
+                    engine.replay_events(state, events, stop=stop)
             else:
                 engine.replay(state, trace, stop=stop)
             if stop < total:
@@ -493,6 +521,7 @@ def run_suite_sharded(
     options: Optional[EngineOptions] = None,
     jobs: Optional[int] = None,
     distill: bool = True,
+    vector: bool = True,
 ) -> SuiteResults:
     """Run the benchmark suite with every (benchmark, mode) pair sharded.
 
@@ -500,22 +529,44 @@ def run_suite_sharded(
     :func:`repro.sim.engine.run_suite` -- and on the exact path, the same
     bits.  The exact path pipelines each pair's shard chain through
     :func:`pipelined_map`, with ``distill`` (the default) replaying each
-    window from the benchmark's shared miss-event stream; the warm-up path
-    flattens all shards of all pairs into one ``parallel_map`` list (it
-    never distills -- its approximation lives in the warm-up replay itself).
+    window from the benchmark's shared miss-event stream and ``vector``
+    (also the default) batching those windows through the numpy kernels;
+    the warm-up path flattens all shards of all pairs into one
+    ``parallel_map`` list (it never distills -- its approximation lives in
+    the warm-up replay itself).
     """
     names = list(benchmark_names)
     if distill and spec.exact:
         # Pre-distill in the parent so forked workers inherit the streams
-        # through the store's memory layer (see run_suite_parallel).
+        # (and the shared MAC tier) through the store's memory layer (see
+        # run_suite_parallel).
+        from repro.sim import replaycore
         from repro.sim.distill import distilled_events
 
+        precompute_tier = (
+            vector
+            and replaycore.HAVE_NUMPY
+            and any(mode_parameters(mode).mac_traffic for mode in ordered_modes(modes))
+        )
         for name in names:
-            distilled_events(name, scale, seed, num_accesses, config)
+            events = distilled_events(name, scale, seed, num_accesses, config)
+            if precompute_tier:
+                replaycore.distilled_mac_tier(events, config)
     labels = ordered_modes(modes)
     pairs = [(name, label) for name in names for label in labels]
     chains = [
-        shard_chain(name, label, spec, scale, num_accesses, seed, config, options, distill)
+        shard_chain(
+            name,
+            label,
+            spec,
+            scale,
+            num_accesses,
+            seed,
+            config,
+            options,
+            distill,
+            vector,
+        )
         for name, label in pairs
     ]
 

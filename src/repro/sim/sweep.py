@@ -29,7 +29,7 @@ from itertools import product
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
-from repro.sim.configs import EVALUATED_MODES, ModeLike, mode_label
+from repro.sim.configs import EVALUATED_MODES, ModeLike, mode_label, mode_parameters
 from repro.sim.engine import EngineOptions
 from repro.sim.parallel import (
     SuiteTask,
@@ -258,6 +258,7 @@ def run_sweep(
     store: Optional[ResultStore] = None,
     shard_size: Optional[int] = None,
     distill: bool = True,
+    vector: bool = True,
 ) -> SweepResult:
     """Run the full grid, fetching cached points and fanning out the rest.
 
@@ -319,6 +320,7 @@ def run_sweep(
             point.config,
             point.options,
             distill,
+            vector,
         )
         slices.append((i, len(tasks), len(tasks) + len(point_tasks)))
         tasks.extend(point_tasks)
@@ -328,15 +330,23 @@ def run_sweep(
             # Pre-distill each uncached point's benchmarks in the parent so
             # forked workers inherit the streams (see run_suite_parallel);
             # repeated (trace, geometry) combinations dedupe through the
-            # store's memory layer.
+            # store's memory layer.  The per-family MAC tier rides along.
+            from repro.sim import replaycore
             from repro.sim.distill import distilled_events
 
+            precompute_tier = (
+                vector
+                and replaycore.HAVE_NUMPY
+                and any(mode_parameters(mode).mac_traffic for mode in mode_order)
+            )
             for i, _, _ in slices:
                 point = points[i]
                 for name in names:
-                    distilled_events(
+                    events = distilled_events(
                         name, point.scale, point.seed, point.num_accesses, point.config
                     )
+                    if precompute_tier:
+                        replaycore.distilled_mac_tier(events, point.config)
         results = parallel_map(_run_suite_task, tasks, jobs=jobs)
         for i, start, stop in slices:
             suite = merge_suite_results(tasks[start:stop], results[start:stop], mode_order)
@@ -369,6 +379,7 @@ def run_sweep(
             options=point.options,
             jobs=jobs,
             distill=distill,
+            vector=vector,
         )
         suites[i] = suite
         if use_cache:
