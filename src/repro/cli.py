@@ -16,6 +16,9 @@ Installed as the ``repro`` console script (``toleo-repro`` is an alias)::
                                          # tera-scale traces: sharded replay
     repro sweep --param options.memory_level_parallelism=1,4,8 \
                 --param scale=0.001,0.002 --jobs 4
+    repro store stats                    # summarise the persistent store index
+    repro store ls --kind events         # list cached entries by kind/prefix
+    repro store gc                       # drop stale entries, vacuum the index
 
 ``reproduce-all`` rebuilds every registered artifact (fig6-fig12, table1-4,
 the security and freshness-scaling analyses, the design ablations) through
@@ -81,6 +84,7 @@ from repro.sim.configs import (
     registered_modes,
     resolve_mode,
 )
+from repro.sim.store import default_store
 from repro.sim.sweep import SweepAxisError, parse_axis, run_sweep
 from repro.workloads.registry import BENCHMARKS, UnknownBenchmarkError
 
@@ -142,12 +146,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "bench", "sweep", "list", "reproduce-all"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "bench", "sweep", "list", "store", "reproduce-all"],
         help="experiment to render, 'reproduce-all' for every registered "
         "artifact plus the provenance-stamped HTML report, 'bench' for a raw "
         "benchmark-suite run, 'sweep' for a parameter-grid run, 'all' for "
-        "every experiment, or 'list' for the available experiments, "
-        "benchmarks and modes",
+        "every experiment, 'store' to inspect or compact the persistent "
+        "result store, or 'list' for the available experiments, benchmarks "
+        "and modes",
+    )
+    parser.add_argument(
+        "store_action",
+        nargs="?",
+        choices=["stats", "ls", "gc"],
+        help="with 'store': 'stats' summarises the index, 'ls' lists entries "
+        "(--kind/--prefix filter), 'gc' drops entries whose source "
+        "fingerprint no longer matches and compacts the index "
+        "(default: stats)",
+    )
+    parser.add_argument(
+        "--kind",
+        default=None,
+        metavar="KIND",
+        help="store ls only: restrict to one entry kind "
+        "(suite, events, mactier, space, ...)",
+    )
+    parser.add_argument(
+        "--prefix",
+        default=None,
+        metavar="PREFIX",
+        help="store ls only: restrict to keys starting with PREFIX",
     )
     parser.add_argument(
         "--benchmarks",
@@ -280,7 +308,7 @@ def _resolve_modes(args: argparse.Namespace) -> Tuple[str, ...]:
 def run_list() -> str:
     """Everything the CLI can run: experiments, benchmarks and modes."""
     lines: List[str] = ["experiments:"]
-    for name in sorted(EXPERIMENTS) + ["bench", "sweep", "reproduce-all"]:
+    for name in sorted(EXPERIMENTS) + ["bench", "sweep", "store", "reproduce-all"]:
         lines.append(f"  {name}")
     lines.append("")
     lines.append("benchmarks (--benchmarks):")
@@ -294,6 +322,52 @@ def run_list() -> str:
     for label in registered_modes():
         params = mode_parameters(label)
         lines.append(f"  {label:<12} {params.description}")
+    return "\n".join(lines) + "\n"
+
+
+def run_store(args: argparse.Namespace) -> str:
+    """Inspect or compact the persistent result store (``repro store ...``).
+
+    The sqlite index makes "what do I have cached?" a query instead of a
+    directory walk: ``stats`` aggregates it, ``ls`` lists entries
+    (``--kind``/``--prefix`` filter), ``gc`` drops entries whose recorded
+    source fingerprint no longer matches the tree and vacuums the index.
+    """
+    store = default_store()
+    action = args.store_action or "stats"
+
+    if action == "gc":
+        result = store.gc()
+        return (
+            f"dropped {result.dropped_entries} stale entries and "
+            f"{result.dropped_blobs} orphaned blobs; "
+            f"{result.kept_entries} entries kept ({store.root})\n"
+        )
+
+    if action == "ls":
+        entries = store.query(kind=args.kind, prefix=args.prefix)
+        lines = [
+            f"{entry.key}  {entry.size:>10}  "
+            f"{'inline' if entry.inline else 'blob':<6}"
+            f"{'  stale' if entry.stale else ''}"
+            for entry in entries
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    stats = store.stats()
+    lines = [
+        f"store root      {stats['root']}",
+        f"entries         {stats['entries']} "
+        f"({stats['inline_entries']} inline, {stats['blob_entries']} blob)",
+        f"payload bytes   {stats['bytes']:,}",
+        f"index bytes     {stats['index_bytes']:,}",
+        f"stale entries   {stats['stale_entries']}",
+    ]
+    for kind in sorted(stats["kinds"]):
+        info = stats["kinds"][kind]
+        lines.append(
+            f"  {kind:<10} {info['entries']:>5} entries  {info['bytes']:>12,} bytes"
+        )
     return "\n".join(lines) + "\n"
 
 
@@ -431,6 +505,14 @@ def run_sweep_command(args: argparse.Namespace) -> str:
         f"distill={'off' if args.no_distill else 'on'}, "
         f"vector={'off' if args.no_vector else 'on'})\n"
     )
+    # The queryable index replaces the old "glob the cache dir" instinct:
+    # one line of provenance about what this sweep can be re-served from.
+    store = default_store()
+    indexed = store.query(kind="suite")
+    footer += (
+        f"store index: {len(indexed)} suite entries"
+        f" ({sum(e.size for e in indexed):,} bytes) in {store.root}\n"
+    )
     return table + footer
 
 
@@ -480,6 +562,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--quick and --full are mutually exclusive")
     if args.from_store and args.experiment != "reproduce-all":
         parser.error("--from-store only applies to reproduce-all")
+    if args.store_action is not None and args.experiment != "store":
+        parser.error(
+            f"'{args.store_action}' only applies to 'repro store', "
+            f"not '{args.experiment}'"
+        )
+    if (args.kind is not None or args.prefix is not None) and args.experiment != "store":
+        parser.error("--kind/--prefix only apply to 'repro store ls'")
+
+    if args.experiment == "store":
+        print(run_store(args), end="")
+        return 0
 
     if args.experiment == "reproduce-all":
         return run_reproduce_all(args)

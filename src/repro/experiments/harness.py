@@ -10,9 +10,9 @@ one entry point, :func:`run_benchmarks`, backed by the persistent
   full ``SystemConfig``/``EngineOptions`` -- so runs with different
   configurations can never be served each other's results;
 * the store's memory layer preserves object identity within a process, and
-  its JSON layer under ``.repro_cache/`` survives across processes, so a
-  second ``repro bench`` (or a CI re-run on a warm cache) skips simulation
-  entirely;
+  its sqlite-indexed disk layer under ``.repro_cache/`` survives across
+  processes, so a second ``repro bench`` (or a CI re-run on a warm cache)
+  skips simulation entirely;
 * ``jobs > 1`` fans the independent (benchmark, mode) simulations out over
   worker processes via :func:`repro.sim.parallel.run_suite_parallel`, with
   output bit-identical to the serial run.

@@ -15,6 +15,7 @@ re-render over the same data produces a byte-identical report (asserted by
 from __future__ import annotations
 
 import json
+import re
 from html import escape
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
@@ -51,16 +52,30 @@ a:hover { text-decoration: underline; }
 """
 
 
+def _bench_sort_key(path: Path) -> tuple:
+    """Chronological order for ``BENCH_*.json`` record files.
+
+    Records are committed one per performance PR (``BENCH_PR5.json``, ...),
+    so the numeric PR suffix is the chronology -- a lexicographic sort would
+    put ``BENCH_PR10`` before ``BENCH_PR5``.  Files without the ``PR<n>``
+    shape sort after the numbered ones, by name.
+    """
+    match = re.fullmatch(r"BENCH_PR(\d+)", path.stem)
+    if match:
+        return (0, int(match.group(1)), path.name)
+    return (1, 0, path.name)
+
+
 def load_bench_records(root: Optional[Path] = None) -> List[Dict[str, Any]]:
     """Parse the committed ``BENCH_*.json`` throughput records, oldest first.
 
     The files are committed one per performance PR (``BENCH_PR5.json``, ...),
-    so sorting by filename gives the chronological perf trajectory.
+    ordered by the numeric PR suffix -- the chronological perf trajectory.
     Unreadable files are skipped, never fatal.
     """
     root = Path.cwd() if root is None else Path(root)
     records: List[Dict[str, Any]] = []
-    for path in sorted(root.glob("BENCH_*.json")):
+    for path in sorted(root.glob("BENCH_*.json"), key=_bench_sort_key):
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):

@@ -45,6 +45,7 @@ from repro.report.artifacts import (
 )
 from repro.report.htmlreport import build_index_html, load_bench_records
 from repro.report.provenance import ProvenanceStamp
+from repro.sim.store import default_store
 
 #: Envelope format of the ``data/*.json`` files and ``manifest.json``.
 DATA_FORMAT = 1
@@ -254,6 +255,15 @@ def reproduce_all(
         },
     )
     say(f"report: {report.index_path} ({len(report.artifacts)} artifacts)")
+    # Provenance of the run's cache: what the persistent index now holds, so a
+    # reader of the log knows what a re-run can be served from.  Progress-only
+    # (never written into results/), so --from-store stays byte-identical.
+    stats = default_store().stats()
+    say(
+        f"store index: {stats['entries']} entries "
+        f"({stats['bytes']:,} payload bytes, {stats['stale_entries']} stale) "
+        f"in {stats['root']}"
+    )
     return report
 
 

@@ -41,6 +41,7 @@ from repro.sim.configs import (
 )
 from repro.sim.engine import EngineOptions, SimulationEngine, ordered_modes
 from repro.sim.results import SimulationResult, SuiteResults
+from repro.sim.store import export_code_fingerprint
 
 #: One unit of work: everything a worker needs to run one simulation.  The
 #: mode's *resolved* ModeParameters travel with the task (not just the enum)
@@ -92,6 +93,11 @@ def parallel_map(func: Callable, tasks: Sequence, jobs: Optional[int] = None) ->
     jobs = min(resolve_jobs(jobs), len(tasks))
     if jobs <= 1 or len(tasks) <= 1:
         return [func(task) for task in tasks]
+    # Hash the package source once here rather than once per spawn worker:
+    # the exported value rides the environment into every worker's
+    # code_fingerprint(), whose first store access would otherwise re-read
+    # the whole source tree.
+    export_code_fingerprint()
     with _pool_context().Pool(processes=jobs) as pool:
         return pool.map(func, tasks, chunksize=1)
 
@@ -135,6 +141,7 @@ def pipelined_map(
     done = threading.Event()
     remaining = sum(1 for chain in chains if chain)
 
+    export_code_fingerprint()
     with _pool_context().Pool(processes=jobs) as pool:
 
         def submit(chain_index: int, step_index: int, carry: Any) -> None:
@@ -147,30 +154,46 @@ def pipelined_map(
 
         def advance(chain_index: int, step_index: int, result: Any) -> None:
             # Runs on the pool's result-handler thread; submitting the next
-            # step from here is what keeps the pipeline barrier-free.
+            # step from here is what keeps the pipeline barrier-free.  An
+            # exception escaping this callback would kill that thread with
+            # ``done`` never set and the caller blocked forever, so anything
+            # raised here (e.g. ``submit`` on a pool that started closing)
+            # must land in ``errors`` and release the waiter.  The except
+            # body runs after ``with lock`` has released, so re-taking the
+            # (non-reentrant) lock there cannot self-deadlock.
             nonlocal remaining
-            with lock:
-                if errors:
-                    return
-                if step_index + 1 < len(chains[chain_index]):
-                    submit(chain_index, step_index + 1, result)
-                    return
-                finals[chain_index] = result
-                remaining -= 1
-                if remaining == 0:
-                    done.set()
+            try:
+                with lock:
+                    if errors:
+                        return
+                    if step_index + 1 < len(chains[chain_index]):
+                        submit(chain_index, step_index + 1, result)
+                        return
+                    finals[chain_index] = result
+                    remaining -= 1
+                    if remaining == 0:
+                        done.set()
+            except BaseException as exc:
+                with lock:
+                    errors.append(exc)
+                done.set()
 
         def fail(error: BaseException) -> None:
             with lock:
                 errors.append(error)
             done.set()
 
-        with lock:
-            if remaining == 0:
-                done.set()
-            for chain_index, chain in enumerate(chains):
-                if chain:
-                    submit(chain_index, 0, None)
+        try:
+            with lock:
+                if remaining == 0:
+                    done.set()
+                for chain_index, chain in enumerate(chains):
+                    if chain:
+                        submit(chain_index, 0, None)
+        except BaseException as exc:
+            with lock:
+                errors.append(exc)
+            done.set()
         done.wait()
         if errors:
             raise errors[0]

@@ -274,3 +274,72 @@ class TestBench:
         assert cli.main(args) == 0
         second = capsys.readouterr().out
         assert first.splitlines()[:6] == second.splitlines()[:6]
+
+
+class TestStoreCommand:
+    @pytest.fixture
+    def own_store(self, tmp_path, monkeypatch):
+        """Point the default store at a private directory for the test."""
+        from repro.sim.store import set_default_store
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        set_default_store(None)
+        yield tmp_path
+        set_default_store(None)
+
+    def test_store_listed(self, capsys):
+        assert cli.main(["list"]) == 0
+        assert "store" in capsys.readouterr().out.split()
+
+    def test_store_action_requires_store(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["bench", "gc"])
+
+    def test_kind_filter_requires_store(self):
+        with pytest.raises(SystemExit):
+            cli.main(["bench", "--kind", "suite"])
+
+    def test_stats_on_empty_store(self, own_store, capsys):
+        assert cli.main(["store", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries         0" in out
+        assert str(own_store) in out
+
+    def test_stats_is_the_default_action(self, own_store, capsys):
+        assert cli.main(["store"]) == 0
+        assert "entries" in capsys.readouterr().out
+
+    def test_ls_and_stats_after_a_run(self, own_store, capsys):
+        # --jobs 2 takes the parallel path, whose distillation pre-pass
+        # persists the events entries (the serial path distills in-process).
+        assert cli.main(
+            ["bench", "--benchmarks", "hyrise", "--accesses", "3000", "--jobs", "2"]
+        ) == 0
+        capsys.readouterr()
+        assert cli.main(["store", "ls"]) == 0
+        listing = capsys.readouterr().out
+        assert "suite-" in listing and "events-" in listing
+        assert cli.main(["store", "ls", "--kind", "suite"]) == 0
+        suites_only = capsys.readouterr().out
+        assert "suite-" in suites_only and "events-" not in suites_only
+        assert cli.main(["store", "stats"]) == 0
+        stats = capsys.readouterr().out
+        assert "suite" in stats and "events" in stats
+
+    def test_gc_keeps_fresh_entries(self, own_store, capsys):
+        assert cli.main(["bench", "--benchmarks", "hyrise", "--accesses", "3000"]) == 0
+        capsys.readouterr()
+        assert cli.main(["store", "gc"]) == 0
+        out = capsys.readouterr().out
+        assert "dropped 0 stale entries" in out
+        # The store still serves the suite after compaction.
+        assert cli.main(["store", "ls", "--kind", "suite"]) == 0
+        assert "suite-" in capsys.readouterr().out
+
+    def test_sweep_footer_reports_store_index(self, own_store, capsys):
+        assert cli.main(
+            ["sweep", "--param", "scale=0.002", "--benchmarks", "hyrise",
+             "--modes", "CI", "--accesses", "3000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "store index:" in out and "suite entries" in out

@@ -1,0 +1,39 @@
+"""Tests for the HTML report's benchmark-record loading."""
+
+import json
+
+from repro.report.htmlreport import load_bench_records
+
+
+def _write_record(root, name, wall=1.0):
+    (root / name).write_text(json.dumps({"wall_seconds": wall}))
+
+
+class TestBenchRecordOrdering:
+    def test_numeric_pr_order_not_lexicographic(self, tmp_path):
+        # Lexicographically BENCH_PR10 sorts before BENCH_PR5; the perf
+        # trajectory must follow the numeric PR suffix instead.
+        for name in ("BENCH_PR10.json", "BENCH_PR5.json", "BENCH_PR7.json"):
+            _write_record(tmp_path, name)
+        records = load_bench_records(tmp_path)
+        assert [r["_file"] for r in records] == [
+            "BENCH_PR5.json",
+            "BENCH_PR7.json",
+            "BENCH_PR10.json",
+        ]
+
+    def test_unnumbered_records_sort_after_numbered_by_name(self, tmp_path):
+        for name in ("BENCH_PR12.json", "BENCH_baseline.json", "BENCH_PR2.json"):
+            _write_record(tmp_path, name)
+        records = load_bench_records(tmp_path)
+        assert [r["_file"] for r in records] == [
+            "BENCH_PR2.json",
+            "BENCH_PR12.json",
+            "BENCH_baseline.json",
+        ]
+
+    def test_unreadable_record_skipped(self, tmp_path):
+        _write_record(tmp_path, "BENCH_PR5.json")
+        (tmp_path / "BENCH_PR6.json").write_text("{ not json")
+        records = load_bench_records(tmp_path)
+        assert [r["_file"] for r in records] == ["BENCH_PR5.json"]

@@ -291,10 +291,15 @@ class TestStreamPersistence:
         assert reloaded.to_payload() == first.to_payload()
 
     def test_corrupt_disk_entry_degrades_to_recompute(self, tmp_path):
+        import sqlite3
+
         store = ResultStore(tmp_path)
         first = distilled_events("bsw", 0.002, 1234, 1500, None, store=store)
         key = events_key("bsw", 0.002, 1234, 1500, None)
-        store.path_for(key).write_text('{"format": 1, "key": "%s", "payload": 42}' % key)
+        with sqlite3.connect(store.db_path) as conn:
+            conn.execute(
+                "UPDATE entries SET payload = '42', blob = NULL WHERE key = ?", (key,)
+            )
         recomputed = distilled_events("bsw", 0.002, 1234, 1500, None, store=ResultStore(tmp_path))
         assert recomputed.to_payload() == first.to_payload()
 

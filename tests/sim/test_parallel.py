@@ -1,8 +1,25 @@
 """The parallel suite runner must be bit-identical to the serial driver."""
 
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.sim import parallel as parallel_module
 from repro.sim.configs import EVALUATED_MODES, LATENCY_MODES, ProtectionMode
 from repro.sim.engine import run_suite
-from repro.sim.parallel import parallel_map, resolve_jobs, run_suite_parallel
+from repro.sim.parallel import (
+    parallel_map,
+    pipelined_map,
+    resolve_jobs,
+    run_suite_parallel,
+)
+from repro.sim.store import (
+    CODE_FINGERPRINT_ENV,
+    code_fingerprint,
+    export_code_fingerprint,
+)
 
 BENCHES = ("bsw", "memcached")
 ACCESSES = 5000
@@ -124,3 +141,120 @@ class TestHelpers:
 
     def test_parallel_map_serial_fallback(self):
         assert parallel_map(str, [7], jobs=8) == ["7"]
+
+
+def _chain_step(task, carry):
+    return (carry or 0) + task
+
+
+class _FlakyPool:
+    """Real pool whose apply_async starts raising after N successful calls.
+
+    Models ``apply_async`` on a pool that began closing -- the failure mode
+    that used to kill the result-handler callback with ``done`` never set.
+    """
+
+    def __init__(self, real, fail_after):
+        self._real = real
+        self._fail_after = fail_after
+        self._calls = 0
+
+    def apply_async(self, *args, **kwargs):
+        self._calls += 1
+        if self._calls > self._fail_after:
+            raise ValueError("Pool not running")
+        return self._real.apply_async(*args, **kwargs)
+
+    def __enter__(self):
+        self._real.__enter__()
+        return self
+
+    def __exit__(self, *exc):
+        return self._real.__exit__(*exc)
+
+
+class _FlakyContext:
+    def __init__(self, real_context, fail_after):
+        self._real_context = real_context
+        self._fail_after = fail_after
+
+    def Pool(self, processes):
+        return _FlakyPool(self._real_context.Pool(processes), self._fail_after)
+
+
+class TestPipelinedMapErrorPaths:
+    """A raising completion callback must raise to the caller, never hang."""
+
+    CHAINS = [[1, 2], [10, 20]]  # 2 chains so the pooled (non-serial) path runs
+
+    def _run_with_failure(self, monkeypatch, fail_after):
+        real = parallel_module._pool_context()
+        monkeypatch.setattr(
+            parallel_module, "_pool_context", lambda: _FlakyContext(real, fail_after)
+        )
+        # A regression here deadlocks rather than fails; run the call on a
+        # worker thread with a timeout so the suite sees an error, not a hang.
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            future = executor.submit(pipelined_map, _chain_step, self.CHAINS, 2)
+            with pytest.raises(ValueError, match="Pool not running"):
+                future.result(timeout=60)
+
+    def test_callback_submit_failure_raises_not_deadlocks(self, monkeypatch):
+        # Both initial submissions succeed; the *callback-thread* submission
+        # of each chain's second step raises -- the historical deadlock.
+        self._run_with_failure(monkeypatch, fail_after=2)
+
+    def test_initial_submit_failure_raises_not_deadlocks(self, monkeypatch):
+        self._run_with_failure(monkeypatch, fail_after=1)
+
+    def test_pipelined_map_still_correct(self):
+        assert pipelined_map(_chain_step, self.CHAINS, jobs=2) == [3, 30]
+
+
+def _spawn_fingerprint_probe(_task):
+    return code_fingerprint()
+
+
+class TestFingerprintExport:
+    @pytest.fixture
+    def clear_fingerprint_cache(self):
+        # Requested *before* monkeypatch in each test: fixture teardown runs
+        # in reverse order, so the cache is cleared after the env var is
+        # restored and no sentinel value can leak into later tests.
+        code_fingerprint.cache_clear()
+        yield
+        code_fingerprint.cache_clear()
+
+    def test_env_value_wins_over_rehashing(self, clear_fingerprint_cache, monkeypatch):
+        monkeypatch.setenv(CODE_FINGERPRINT_ENV, "pinned-by-parent")
+        code_fingerprint.cache_clear()
+        assert code_fingerprint() == "pinned-by-parent"
+
+    def test_export_publishes_current_fingerprint(
+        self, clear_fingerprint_cache, monkeypatch
+    ):
+        monkeypatch.delenv(CODE_FINGERPRINT_ENV, raising=False)
+        code_fingerprint.cache_clear()
+        value = export_code_fingerprint()
+        assert os.environ[CODE_FINGERPRINT_ENV] == value == code_fingerprint()
+        assert len(value) == 64  # the real hash, not a sentinel
+
+    def test_parallel_map_exports_before_pooling(
+        self, clear_fingerprint_cache, monkeypatch
+    ):
+        monkeypatch.delenv(CODE_FINGERPRINT_ENV, raising=False)
+        code_fingerprint.cache_clear()
+        parallel_map(str, [1, 2, 3], jobs=2)
+        assert os.environ[CODE_FINGERPRINT_ENV] == code_fingerprint()
+
+    def test_spawn_workers_inherit_not_recompute(
+        self, clear_fingerprint_cache, monkeypatch
+    ):
+        # The sentinel can only come from the inherited environment: a worker
+        # that re-hashed the package source would return a real 64-char
+        # digest instead.
+        monkeypatch.setenv(CODE_FINGERPRINT_ENV, "pinned-by-parent")
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=2) as pool:
+            observed = pool.map(_spawn_fingerprint_probe, range(4), chunksize=1)
+        assert observed == ["pinned-by-parent"] * 4

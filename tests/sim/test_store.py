@@ -2,6 +2,7 @@
 
 import dataclasses
 import json
+import sqlite3
 
 import pytest
 
@@ -10,7 +11,16 @@ from repro.experiments.harness import run_benchmarks, suite_key
 from repro.sim.configs import EVALUATED_MODES, ProtectionMode
 from repro.sim.engine import EngineOptions, run_suite
 from repro.sim.results import SimulationResult
-from repro.sim.store import FORMAT_VERSION, ResultStore, content_key
+from repro.sim.store import FORMAT_VERSION, INLINE_LIMIT, ResultStore, content_key
+
+
+def corrupt_entry(store, key, **columns):
+    """Damage one index row out-of-band, as hand-editing or bitrot would."""
+    sets = ", ".join(f"{name} = ?" for name in columns)
+    with sqlite3.connect(store.db_path) as conn:
+        conn.execute(
+            f"UPDATE entries SET {sets} WHERE key = ?", (*columns.values(), key)
+        )
 
 
 class TestContentKey:
@@ -85,7 +95,8 @@ class TestResultStore:
     def test_memory_only_without_encoder(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put("k", {"x": 1})
-        assert not store.path_for("k").exists()
+        assert list(store.disk_keys()) == []
+        assert ResultStore(tmp_path).get("k") is None
 
     def test_disk_round_trip(self, tmp_path):
         first = ResultStore(tmp_path)
@@ -96,41 +107,54 @@ class TestResultStore:
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put("k", {"x": 1}, encoder=lambda v: v)
-        store.path_for("k").write_text("{ not json")
+        corrupt_entry(store, "k", payload="{ not json")
         assert ResultStore(tmp_path).get("k", decoder=lambda p: p) is None
 
     def test_truncated_entry_is_a_miss(self, tmp_path):
-        # A worker killed mid-write (or a full disk) can leave a prefix of
-        # the envelope behind; the store must recompute, not raise.
+        # Out-of-band damage can leave a prefix of the payload text behind;
+        # the store must recompute, not raise.
         store = ResultStore(tmp_path)
         store.put("k", {"x": 1}, encoder=lambda v: v)
-        full = store.path_for("k").read_text()
-        store.path_for("k").write_text(full[: len(full) // 2])
+        full = ResultStore(tmp_path).get("k")
+        text = json.dumps(full)
+        corrupt_entry(store, "k", payload=text[: len(text) // 2])
         assert ResultStore(tmp_path).get("k", decoder=lambda p: p) is None
 
-    def test_non_dict_json_entry_is_a_miss(self, tmp_path):
-        # Valid JSON of the wrong shape used to escape the except clause via
-        # AttributeError on envelope.get(); it must be a miss like any other
-        # corruption.
+    def test_null_payload_without_blob_is_a_miss(self, tmp_path):
+        # A row that claims a spilled payload but names no blob (or lost its
+        # inline text) must be a miss like any other corruption.
         store = ResultStore(tmp_path)
         store.put("k", {"x": 1}, encoder=lambda v: v)
-        for garbage in ("[1, 2, 3]", '"a string"', "42", "null"):
-            store.path_for("k").write_text(garbage)
-            assert ResultStore(tmp_path).get("k", decoder=lambda p: p) is None
+        corrupt_entry(store, "k", payload=None, blob=None)
+        assert ResultStore(tmp_path).get("k", decoder=lambda p: p) is None
 
     def test_wrong_payload_shape_is_a_miss(self, tmp_path):
-        # The envelope parses but the payload no longer matches the decoder's
+        # The payload parses but no longer matches the decoder's
         # expectations (e.g. a hand-edited entry).
         store = ResultStore(tmp_path)
         store.put("k", {"x": 1}, encoder=lambda v: v)
-        envelope = json.loads(store.path_for("k").read_text())
-        envelope["payload"] = ["not", "a", "suite"]
-        store.path_for("k").write_text(json.dumps(envelope))
+        corrupt_entry(store, "k", payload='["not", "a", "suite"]')
 
         def strict_decoder(payload):
             return payload["x"]  # TypeError on a list
 
         assert ResultStore(tmp_path).get("k", decoder=strict_decoder) is None
+
+    def test_missing_blob_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"data": "z" * (INLINE_LIMIT + 1)}, encoder=lambda v: v)
+        for blob in store.blob_dir.glob("*.json"):
+            blob.unlink()
+        assert ResultStore(tmp_path).get("k", decoder=lambda p: p) is None
+
+    def test_damaged_blob_is_a_miss(self, tmp_path):
+        # A blob's name is its content hash: a truncated or bit-flipped blob
+        # fails the digest check and degrades to a miss, never wrong data.
+        store = ResultStore(tmp_path)
+        store.put("k", {"data": "z" * (INLINE_LIMIT + 1)}, encoder=lambda v: v)
+        (blob,) = store.blob_dir.glob("*.json")
+        blob.write_text(blob.read_text()[:100])
+        assert ResultStore(tmp_path).get("k", decoder=lambda p: p) is None
 
     def test_corrupted_suite_entry_recomputes(self, tmp_path):
         # End to end: a corrupted on-disk suite entry behaves like a cold
@@ -138,7 +162,7 @@ class TestResultStore:
         store = ResultStore(tmp_path)
         computed = run_benchmarks(("hyrise",), scale=0.002, num_accesses=4000, store=store)
         (key,) = store.disk_keys()
-        store.path_for(key).write_text("{ truncated")
+        corrupt_entry(store, key, payload="{ truncated", blob=None)
         recomputed = run_benchmarks(
             ("hyrise",), scale=0.002, num_accesses=4000, store=ResultStore(tmp_path)
         )
@@ -150,9 +174,7 @@ class TestResultStore:
     def test_format_version_mismatch_is_a_miss(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put("k", {"x": 1}, encoder=lambda v: v)
-        envelope = json.loads(store.path_for("k").read_text())
-        envelope["format"] = FORMAT_VERSION + 1
-        store.path_for("k").write_text(json.dumps(envelope))
+        corrupt_entry(store, "k", format=FORMAT_VERSION + 1)
         assert ResultStore(tmp_path).get("k", decoder=lambda p: p) is None
 
     def test_invalidate_drops_both_layers(self, tmp_path):
@@ -160,7 +182,25 @@ class TestResultStore:
         store.put("k", {"x": 1}, encoder=lambda v: v)
         store.invalidate("k")
         assert store.get("k", decoder=lambda p: p) is None
-        assert not store.path_for("k").exists()
+        assert "k" not in ResultStore(tmp_path)
+
+    def test_invalidate_drops_unreferenced_blob(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"data": "z" * (INLINE_LIMIT + 1)}, encoder=lambda v: v)
+        assert len(list(store.blob_dir.glob("*.json"))) == 1
+        store.invalidate("k")
+        assert list(store.blob_dir.glob("*.json")) == []
+
+    def test_shared_blob_survives_one_invalidate(self, tmp_path):
+        # Identical payloads dedup to one content-named blob; dropping one
+        # referencing key must not orphan the other.
+        store = ResultStore(tmp_path)
+        payload = {"data": "z" * (INLINE_LIMIT + 1)}
+        store.put("a", payload, encoder=lambda v: v)
+        store.put("b", payload, encoder=lambda v: v)
+        assert len(list(store.blob_dir.glob("*.json"))) == 1
+        store.invalidate("a")
+        assert ResultStore(tmp_path).get("b", decoder=lambda p: p) == payload
 
     def test_clear_memory_keeps_disk(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -173,6 +213,175 @@ class TestResultStore:
         store.put("suite-aa", 1, encoder=lambda v: v)
         store.put("space-bb", 2, encoder=lambda v: v)
         assert set(store.disk_keys()) == {"suite-aa", "space-bb"}
+
+
+class TestConsistentViews:
+    """`in`, `len` and decoder-less `get` must agree on what is served.
+
+    Historically ``key in store`` saw disk entries while ``get(key)`` without
+    a decoder never read disk and ``__len__`` counted only memory -- so
+    containment could be True for a key ``get`` returned None for.
+    """
+
+    def test_decoderless_get_serves_disk(self, tmp_path):
+        ResultStore(tmp_path).put("k", {"x": 1}, encoder=lambda v: v)
+        cold = ResultStore(tmp_path)
+        assert "k" in cold
+        assert cold.get("k") == {"x": 1}
+        assert len(cold) == 1
+
+    def test_decoderless_disk_hit_not_promoted_to_memory(self, tmp_path):
+        # The raw payload must not shadow the decoded object: a decoder-less
+        # read followed by a decoded read still decodes.
+        ResultStore(tmp_path).put("k", {"x": 1}, encoder=lambda v: [v["x"]])
+        cold = ResultStore(tmp_path)
+        assert cold.get("k") == [1]  # raw, as the encoder wrote it
+        assert cold.get("k", decoder=lambda p: {"x": p[0]}) == {"x": 1}
+
+    def test_contains_false_for_unservable_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"data": "z" * (INLINE_LIMIT + 1)}, encoder=lambda v: v)
+        for blob in store.blob_dir.glob("*.json"):
+            blob.unlink()
+        cold = ResultStore(tmp_path)
+        assert "k" not in cold
+        assert cold.get("k") is None
+
+    def test_len_unions_memory_and_disk(self, tmp_path):
+        ResultStore(tmp_path).put("disk-aa", 1, encoder=lambda v: v)
+        store = ResultStore(tmp_path)
+        store.put("mem-bb", 2)  # memory-only
+        store.put("disk-aa", 1, encoder=lambda v: v)  # in both layers
+        assert len(store) == 2
+        assert "mem-bb" in store and "disk-aa" in store
+
+
+class TestLegacyMigration:
+    """A JSON-era cache directory folds into the index on first access."""
+
+    @staticmethod
+    def write_legacy(root, key, payload):
+        envelope = {"format": FORMAT_VERSION, "key": key, "payload": payload}
+        (root / f"{key}.json").write_text(json.dumps(envelope))
+
+    def test_legacy_entries_served_and_files_consumed(self, tmp_path):
+        self.write_legacy(tmp_path, "suite-aa", {"x": 1})
+        self.write_legacy(tmp_path, "events-bb", [1, 2, 3])
+        store = ResultStore(tmp_path)
+        assert store.get("suite-aa", decoder=lambda p: p) == {"x": 1}
+        assert store.get("events-bb") == [1, 2, 3]
+        assert list(tmp_path.glob("suite-*.json")) == []
+        assert list(tmp_path.glob("events-*.json")) == []
+        assert set(ResultStore(tmp_path).disk_keys()) == {"events-bb", "suite-aa"}
+
+    def test_migrated_payload_is_byte_identical(self, tmp_path):
+        payload = {"b": [1, 2], "a": {"nested": True}, "f": 0.25}
+        ResultStore(tmp_path).put("suite-aa", payload, encoder=lambda v: v)
+        native = ResultStore(tmp_path).get("suite-aa")
+
+        legacy_root = tmp_path / "legacy"
+        legacy_root.mkdir()
+        self.write_legacy(legacy_root, "suite-aa", payload)
+        migrated = ResultStore(legacy_root).get("suite-aa")
+        assert json.dumps(migrated, sort_keys=True) == json.dumps(native, sort_keys=True)
+
+    def test_corrupt_legacy_file_is_dropped_not_fatal(self, tmp_path):
+        (tmp_path / "suite-aa.json").write_text("{ not json")
+        self.write_legacy(tmp_path, "suite-bb", {"x": 2})
+        store = ResultStore(tmp_path)
+        assert store.get("suite-aa") is None
+        assert store.get("suite-bb") == {"x": 2}
+        assert list(tmp_path.glob("suite-*.json")) == []
+
+    def test_stale_format_legacy_entry_not_migrated(self, tmp_path):
+        (tmp_path / "suite-aa.json").write_text(
+            json.dumps({"format": FORMAT_VERSION + 1, "key": "suite-aa", "payload": 1})
+        )
+        store = ResultStore(tmp_path)
+        assert store.get("suite-aa") is None
+        assert list(store.disk_keys()) == []
+
+    def test_index_entry_wins_over_stale_legacy_file(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("suite-aa", {"fresh": True}, encoder=lambda v: v)
+        self.write_legacy(tmp_path, "suite-aa", {"stale": True})
+        cold = ResultStore(tmp_path)
+        assert cold.get("suite-aa") == {"fresh": True}
+
+    def test_suite_served_from_migrated_legacy_cache(self, tmp_path):
+        # End to end: simulate into a store, re-encode the entries as
+        # JSON-era files in a fresh directory, and assert run_benchmarks is
+        # served from the migrated index with bit-identical results.
+        store = ResultStore(tmp_path / "native")
+        computed = run_benchmarks(("hyrise",), scale=0.002, num_accesses=4000, store=store)
+        legacy_root = tmp_path / "legacy"
+        legacy_root.mkdir()
+        for key in store.disk_keys():
+            self.write_legacy(legacy_root, key, ResultStore(tmp_path / "native").get(key))
+        served = run_benchmarks(
+            ("hyrise",), scale=0.002, num_accesses=4000, store=ResultStore(legacy_root)
+        )
+        for mode in computed["hyrise"]:
+            assert served["hyrise"][mode].to_dict() == computed["hyrise"][mode].to_dict()
+
+
+class TestQueryStatsGc:
+    def test_query_filters_kind_and_prefix(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("suite-aa", 1, encoder=lambda v: v)
+        store.put("suite-ab", 2, encoder=lambda v: v)
+        store.put("events-xx", 3, encoder=lambda v: v)
+        assert [e.key for e in store.query()] == ["events-xx", "suite-aa", "suite-ab"]
+        assert [e.key for e in store.query(kind="suite")] == ["suite-aa", "suite-ab"]
+        assert [e.key for e in store.query(prefix="suite-ab")] == ["suite-ab"]
+
+    def test_query_reports_spill_and_staleness(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("suite-aa", {"x": 1}, encoder=lambda v: v)
+        store.put("events-bb", {"d": "z" * (INLINE_LIMIT + 1)}, encoder=lambda v: v)
+        corrupt_entry(store, "suite-aa", code="other-fingerprint")
+        by_key = {e.key: e for e in store.query()}
+        assert by_key["suite-aa"].inline and by_key["suite-aa"].stale
+        assert not by_key["events-bb"].inline and not by_key["events-bb"].stale
+
+    def test_stats_aggregates_by_kind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("suite-aa", {"x": 1}, encoder=lambda v: v)
+        store.put("suite-ab", {"x": 2}, encoder=lambda v: v)
+        store.put("events-bb", {"d": "z" * (INLINE_LIMIT + 1)}, encoder=lambda v: v)
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert stats["blob_entries"] == 1
+        assert stats["stale_entries"] == 0
+        assert stats["kinds"]["suite"]["entries"] == 2
+        assert stats["kinds"]["events"]["entries"] == 1
+        assert stats["index_bytes"] > 0
+
+    def test_gc_drops_stale_entries_and_orphan_blobs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("suite-keep", {"x": 1}, encoder=lambda v: v)
+        store.put("events-stale", {"d": "z" * (INLINE_LIMIT + 1)}, encoder=lambda v: v)
+        corrupt_entry(store, "events-stale", code="old-fingerprint")
+        (store.blob_dir / "orphan.json").write_text("{}")
+        result = store.gc()
+        assert result.dropped_entries == 1
+        assert result.dropped_blobs == 2  # the stale entry's blob + the orphan
+        assert result.kept_entries == 1
+        assert list(ResultStore(tmp_path).disk_keys()) == ["suite-keep"]
+        assert list(store.blob_dir.glob("*.json")) == []
+
+    def test_gc_on_clean_store_drops_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("suite-aa", {"x": 1}, encoder=lambda v: v)
+        result = store.gc()
+        assert result.dropped_entries == 0
+        assert result.kept_entries == 1
+        assert ResultStore(tmp_path).get("suite-aa") == {"x": 1}
+
+    def test_gc_on_empty_directory(self, tmp_path):
+        result = ResultStore(tmp_path).gc()
+        assert result.dropped_entries == 0
+        assert result.kept_entries == 0
 
 
 class TestSuitePersistence:
