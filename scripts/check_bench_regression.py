@@ -9,10 +9,10 @@ exactly; the tolerance (default 10%) exists to absorb *intentional* model
 refinements while catching accidental drift -- a cache sized wrong, a latency
 dropped from the critical path, a workload generator change.
 
-Before the baseline comparison the suite is run four ways -- plain, sharded,
-distilled, and vectorized -- and all four must agree *identically*: the
-execution strategies are exactness-preserving by contract, so any divergence
-is an execution-path bug, not drift.
+Before the baseline comparison the suite is run five ways -- plain, sharded,
+distilled, vectorized, and streamed -- and all five must agree *identically*:
+the execution strategies are exactness-preserving by contract, so any
+divergence is an execution-path bug, not drift.
 
 Usage:
     python scripts/check_bench_regression.py            # gate (exit 1 on drift)
@@ -53,6 +53,7 @@ SETTINGS = {
     "seed": 1234,
     "modes": list(GATED_MODES),
     "shard_size": 3_000,
+    "stream": 3_000,
 }
 
 
@@ -67,7 +68,13 @@ def _slowdowns(suite: dict) -> dict:
     }
 
 
-def measure(jobs: int, shard_size: int = 0, distill: bool = False, vector: bool = False) -> dict:
+def measure(
+    jobs: int,
+    shard_size: int = 0,
+    distill: bool = False,
+    vector: bool = False,
+    stream: int = 0,
+) -> dict:
     """Current slowdown ratios for every (benchmark, gated mode) pair."""
     suite = run_benchmarks(
         QUICK_BENCHMARKS,
@@ -80,6 +87,7 @@ def measure(jobs: int, shard_size: int = 0, distill: bool = False, vector: bool 
         shard_size=shard_size or None,
         distill=distill,
         vector=vector,
+        stream=stream or None,
     )
     return _slowdowns(suite)
 
@@ -105,17 +113,20 @@ def main() -> int:
     sharded = measure(args.jobs, shard_size=SETTINGS["shard_size"])
     distilled = measure(args.jobs, distill=True)
     vectorized = measure(args.jobs, distill=True, vector=True)
+    streamed = measure(args.jobs, stream=SETTINGS["stream"])
 
     # The sharded pass uses the exact checkpoint-handoff discipline, the
     # distilled pass replays every mode from the shared miss-event stream,
-    # and the vectorized pass additionally routes that replay through the
-    # numpy batch kernels; all must match the plain run *identically* -- any
-    # difference is an execution-path bug, gated before the baseline
+    # the vectorized pass additionally routes that replay through the numpy
+    # batch kernels, and the streamed pass replays from bounded-memory
+    # windowed event slices; all must match the plain run *identically* --
+    # any difference is an execution-path bug, gated before the baseline
     # comparison even runs.
     for label, variant in (
         ("sharded", sharded),
         ("distilled", distilled),
         ("vectorized", vectorized),
+        ("streamed", streamed),
     ):
         if variant != current:
             print(f"REGRESSION GATE FAILED: {label} run diverged from plain run")
@@ -136,6 +147,7 @@ def main() -> int:
                     "sharded_slowdowns": sharded,
                     "distilled_slowdowns": distilled,
                     "vectorized_slowdowns": vectorized,
+                    "streamed_slowdowns": streamed,
                 },
                 handle,
                 indent=2,
@@ -163,6 +175,7 @@ def main() -> int:
         ("sharded_slowdowns", sharded),
         ("distilled_slowdowns", distilled),
         ("vectorized_slowdowns", vectorized),
+        ("streamed_slowdowns", streamed),
     ]
     for section, measured in sections:
         recorded = baseline.get(section)

@@ -14,6 +14,8 @@ Installed as the ``repro`` console script (``toleo-repro`` is an alias)::
     repro bench --no-cache               # force re-simulation
     repro bench --accesses 10000000 --shard-size 250000 --jobs 0
                                          # tera-scale traces: sharded replay
+    repro bench --accesses 10000000 --shard-size 250000 --stream 250000
+                                         # ...without ever capturing the trace
     repro sweep --param options.memory_level_parallelism=1,4,8 \
                 --param scale=0.001,0.002 --jobs 4
     repro store stats                    # summarise the persistent store index
@@ -42,7 +44,11 @@ selects the approximate independent-shard path).  Multi-mode runs pay the
 cache hierarchy once per benchmark by default -- a fast pre-pass distills
 the trace into a mode-independent miss-event stream that every mode replays
 from (bit-identical results; ``--no-distill`` forces the full per-access
-replay).
+replay).  ``--stream W`` goes one step further for tera-scale runs: the
+trace is never captured whole -- it is generated and distilled W accesses at
+a time into persistent event-slice store entries that the shard tasks replay
+from, so peak memory is bounded by the window while the results (and the
+store keys) stay identical to a captured run.
 """
 
 from __future__ import annotations
@@ -272,6 +278,18 @@ def build_parser() -> argparse.ArgumentParser:
         "requires --shard-size (bench only)",
     )
     parser.add_argument(
+        "--stream",
+        type=int,
+        default=None,
+        metavar="W",
+        help="bounded-memory streamed ingestion: never capture the full "
+        "trace -- distill it window by window (W accesses per window) into "
+        "persistent event-slice entries that the shard tasks replay from; "
+        "bit-identical to the captured run and served from the same store "
+        "entries (bench/sweep only; exact path, so it cannot combine with "
+        "--shard-warmup)",
+    )
+    parser.add_argument(
         "--no-distill",
         action="store_true",
         help="disable miss-event distillation: replay every access of every "
@@ -396,6 +414,7 @@ def run_bench(args: argparse.Namespace) -> str:
         shard_warmup=args.shard_warmup,
         distill=not args.no_distill,
         vector=not args.no_vector,
+        stream=args.stream,
     )
     elapsed = time.perf_counter() - started
 
@@ -424,6 +443,8 @@ def run_bench(args: argparse.Namespace) -> str:
             else f"warm-up {args.shard_warmup}"
         )
         sharding = f", shard {args.shard_size} ({discipline})"
+    if args.stream is not None:
+        sharding += f", stream {args.stream} (windowed event slices)"
     precompute_note = f", mac-tier {precompute:.2f}s excluded" if precompute >= 0.005 else ""
     footer = (
         f"\n{len(suite)} benchmarks x {len(suite_modes)} modes, "
@@ -465,6 +486,7 @@ def run_sweep_command(args: argparse.Namespace) -> str:
         shard_size=args.shard_size,
         distill=not args.no_distill,
         vector=not args.no_vector,
+        stream=args.stream,
     )
     elapsed = time.perf_counter() - started
 
@@ -558,6 +580,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--shard-warmup must be non-negative, got {args.shard_warmup}")
     if args.shard_warmup is not None and args.shard_size is None:
         parser.error("--shard-warmup requires --shard-size")
+    if args.stream is not None and args.stream <= 0:
+        parser.error(f"--stream must be positive, got {args.stream}")
+    if args.stream is not None and args.shard_warmup is not None:
+        parser.error(
+            "--stream is exact by construction and cannot combine with the "
+            "approximate --shard-warmup path"
+        )
+    if args.stream is not None and args.experiment not in ("bench", "sweep"):
+        parser.error("--stream only applies to bench and sweep")
     if args.quick and args.full:
         parser.error("--quick and --full are mutually exclusive")
     if args.from_store and args.experiment != "reproduce-all":

@@ -101,6 +101,7 @@ def run_benchmarks(
     shard_warmup: Optional[int] = None,
     distill: bool = True,
     vector: bool = True,
+    stream: Optional[int] = None,
 ) -> SuiteResults:
     """Run (or fetch from the persistent store) the benchmark suite.
 
@@ -129,6 +130,16 @@ def run_benchmarks(
     Still bit-identical, still the same cache key -- vectorized, distilled
     and plain runs all serve each other's store entries -- and it silently
     degrades to the scalar replay when numpy is unavailable.
+
+    ``stream`` (a window width in accesses) selects the bounded-memory
+    streamed path: the trace is never captured whole -- each benchmark is
+    distilled window by window into persistent ``events-slice`` store
+    entries and every shard task replays from slice store keys
+    (:mod:`repro.sim.shard`).  Exact path only (it cannot combine with
+    ``shard_warmup``) and bit-identical to captured replay, so streamed
+    runs share the captured runs' suite cache key too.  Without
+    ``shard_size`` the run is a single full-length shard -- still
+    bounded-memory, since the payload is slices either way.
     """
     names = tuple(benchmarks) if benchmarks is not None else QUICK_BENCHMARKS
     if use_cache is None:
@@ -138,11 +149,23 @@ def run_benchmarks(
     if store is None:
         store = default_store()
 
+    if stream is not None and stream <= 0:
+        raise ValueError(f"stream window must be positive, got {stream}")
+    if stream is not None and shard_warmup is not None:
+        raise ValueError(
+            "streamed execution is exact by construction; it cannot be "
+            "combined with the approximate --shard-warmup path"
+        )
+
     spec: Optional[ShardSpec] = None
     if shard_size is not None:
         spec = ShardSpec(shard_size=shard_size, warmup=shard_warmup)
     elif shard_warmup is not None:
         raise ValueError("shard_warmup needs shard_size (there is nothing to warm up)")
+    elif stream is not None:
+        # Streamed runs route through the sharded driver; without an explicit
+        # shard width the whole run is one full-length shard.
+        spec = ShardSpec(shard_size=num_accesses)
 
     key = suite_key(
         names,
@@ -172,6 +195,7 @@ def run_benchmarks(
             jobs=jobs,
             distill=distill,
             vector=vector,
+            stream=stream,
         )
     elif jobs != 1:
         results = run_suite_parallel(

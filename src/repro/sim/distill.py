@@ -51,7 +51,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.cache.cache import CacheStats
 from repro.core.config import CacheConfig, SystemConfig
 from repro.sim.store import ResultStore, content_key, default_store
-from repro.workloads.base import Trace
+from repro.workloads.base import Trace, calibrated_instruction_count
 
 try:  # numpy is optional: without it the column views (and the vectorized
     # replay core built on them) are unavailable and everything falls back
@@ -166,12 +166,32 @@ class MissEventStream:
     def instruction_count(self, num_accesses: int, llc_misses: Optional[int] = None) -> int:
         """Identical calibration to :meth:`Trace.instruction_count`, so the
         stream can replace the trace in :meth:`SimulationEngine.finish`."""
-        if llc_misses is not None and self.llc_mpki > 0:
-            calibrated = int(llc_misses * 1000.0 / self.llc_mpki)
-            return max(calibrated, num_accesses)
-        start = self.start_index
-        return int((start + num_accesses) * self.instructions_per_access) - int(
-            start * self.instructions_per_access
+        return calibrated_instruction_count(
+            num_accesses,
+            self.llc_mpki,
+            self.instructions_per_access,
+            llc_misses=llc_misses,
+            start_index=self.start_index,
+        )
+
+    def run_meta(self, num_accesses: int) -> "MissEventStream":
+        """A metadata-only stand-in for the *whole run* this slice belongs to.
+
+        Carries the workload identity and calibration constants with
+        ``start_index`` 0 and no events, so the streamed shard path can hand
+        :meth:`SimulationEngine.begin`/:meth:`finish` a run-level subject
+        without ever materialising the run's trace or full event stream.  A
+        slice with ``start_index > 0`` must not be that subject itself: its
+        uncalibrated instruction fallback counts only its own window.
+        """
+        return MissEventStream(
+            name=self.name,
+            scale=self.scale,
+            seed=self.seed,
+            footprint_bytes=self.footprint_bytes,
+            llc_mpki=self.llc_mpki,
+            instructions_per_access=self.instructions_per_access,
+            num_accesses=num_accesses,
         )
 
     def validate(self) -> None:
@@ -625,11 +645,119 @@ def distilled_events(
     return stream
 
 
+def slice_bounds(num_accesses: int, window: int) -> List[Tuple[int, int]]:
+    """The half-open window partition ``[0, num_accesses)`` in ``window`` steps.
+
+    The final window absorbs the remainder, mirroring
+    :func:`repro.sim.shard.shard_bounds` for shard planning.
+    """
+    if num_accesses <= 0:
+        raise ValueError(f"num_accesses must be positive, got {num_accesses}")
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    return [
+        (start, min(start + window, num_accesses))
+        for start in range(0, num_accesses, window)
+    ]
+
+
+def events_slice_key(
+    name: str,
+    scale: float,
+    seed: int,
+    num_accesses: int,
+    window: int,
+    index: int,
+    config: Optional[SystemConfig] = None,
+) -> str:
+    """Content hash of one windowed slice of a run's distilled stream.
+
+    Same identity as :func:`events_key` -- trace identity + cache geometry --
+    plus the window axis (window size and slice index), following the store
+    discipline: a new partition of the same stream is a new *axis on the
+    key*, never an ad-hoc cache.  Slices of a ``num_accesses`` run under
+    window ``w`` telescope (:meth:`MissEventStream.concat`) to exactly the
+    single :func:`events_key` stream.
+    """
+    return content_key(
+        "events-slice",
+        benchmark=name,
+        scale=scale,
+        seed=seed,
+        num_accesses=num_accesses,
+        geometry=geometry_fields(config),
+        window=window,
+        index=index,
+    )
+
+
+def stream_event_slices(
+    name: str,
+    scale: float,
+    seed: int,
+    num_accesses: int,
+    window: int,
+    config: Optional[SystemConfig] = None,
+    store: Optional[ResultStore] = None,
+) -> List[str]:
+    """Distill a run into windowed event-slice store entries, bounded-memory.
+
+    Streams the workload through :meth:`Workload.stream` window by window,
+    folds each window through one stateful :class:`HierarchyDistiller`, and
+    persists every window's :class:`MissEventStream` under its
+    :func:`events_slice_key`.  Returns the ordered slice keys -- the streamed
+    shard path's task payload.  At no point is the full trace or the full
+    event stream in memory: each window's trace and slice are dropped as soon
+    as the slice is persisted (``keep_in_memory=False`` keeps the store's
+    memory layer from re-accumulating them).
+
+    If every slice is already stored the generation is skipped entirely; a
+    partial cold store regenerates from access 0 (the distiller is stateful,
+    so a missing middle slice cannot be recomputed in isolation) but only
+    writes the missing entries.
+    """
+    from repro.workloads.registry import get_workload
+
+    bounds = slice_bounds(num_accesses, window)
+    if store is None:
+        store = default_store()
+    keys = [
+        events_slice_key(name, scale, seed, num_accesses, window, i, config)
+        for i in range(len(bounds))
+    ]
+    if all(key in store for key in keys):
+        return keys
+    workload = get_workload(name, scale=scale, seed=seed)
+    distiller = HierarchyDistiller(config)
+    count = 0
+    for key, (start, stop), trace_window in zip(
+        keys, bounds, workload.stream(num_accesses, window)
+    ):
+        if len(trace_window) != stop - start or trace_window.start_index != start:
+            raise RuntimeError(
+                f"stream window [{trace_window.start_index}, "
+                f"{trace_window.start_index + len(trace_window)}) does not "
+                f"match planned slice [{start}, {stop}) for {name!r}"
+            )
+        stream = distiller.advance(trace_window, start, stop)
+        if key not in store:
+            store.put(key, stream, encoder=MissEventStream.to_payload, keep_in_memory=False)
+        count += 1
+    if count != len(bounds):
+        raise RuntimeError(
+            f"workload {name!r} yielded {count} windows, expected {len(bounds)}"
+        )
+    return keys
+
+
 __all__ = [
     "WB_NONE",
     "HierarchyDistiller",
     "MissEventStream",
     "distilled_events",
     "events_key",
+    "events_slice_key",
     "geometry_fields",
+    "slice_bounds",
+    "stream_event_slices",
 ]

@@ -312,29 +312,33 @@ class SimulationEngine:
     ) -> EngineState:
         """Advance ``state`` over ``[state.position, stop)`` from events alone.
 
-        ``events`` is the full-run :class:`MissEventStream` distilled from
-        the same trace under the same cache geometry.  The replay drives the
-        rack memory and the protection components through exactly the calls
-        the full per-access loop makes -- in the same order, so even float
+        ``events`` is a :class:`MissEventStream` distilled from the same
+        trace under the same cache geometry -- either the full-run stream or
+        a windowed *slice* whose half-open window covers ``[state.position,
+        stop)`` (events carry global indices, so a slice replays exactly like
+        the matching window of the full stream).  The replay drives the rack
+        memory and the protection components through exactly the calls the
+        full per-access loop makes -- in the same order, so even float
         accumulation is bit-identical -- while every cache hit costs nothing.
         Index-periodic ``on_access`` telemetry fires at its recorded global
         indices between events.
 
-        When the replay completes the run (``stop == num_accesses``) the
-        pre-pass hierarchy counters are folded into the state's (untouched)
-        hierarchy, so :meth:`finish` reads the same statistics a full replay
-        leaves behind.
+        When the replay completes the stream's window (``stop ==
+        events.stop_index``) the stream's per-window hierarchy counter deltas
+        are folded into the state's hierarchy -- once per slice, in window
+        order -- so after the final slice :meth:`finish` reads the same
+        statistics a full replay leaves behind.
         """
-        stop = state.num_accesses if stop is None else stop
+        stop = min(state.num_accesses, events.stop_index) if stop is None else stop
         if not state.position <= stop <= state.num_accesses:
             raise ValueError(
                 f"cannot replay window [{state.position}, {stop}) of a "
                 f"{state.num_accesses}-access run"
             )
-        if events.start_index != 0 or events.num_accesses != state.num_accesses:
+        if not (events.start_index <= state.position and stop <= events.stop_index):
             raise ValueError(
                 f"event stream covers [{events.start_index}, {events.stop_index}) "
-                f"but the run needs [0, {state.num_accesses})"
+                f"but the replay needs [{state.position}, {stop})"
             )
         if state.position == stop:
             return state
@@ -466,13 +470,22 @@ class SimulationEngine:
         state.writebacks = writebacks
         state.position = stop
 
-        if stop == state.num_accesses:
+        if stop == events.stop_index:
+            # This call completed the stream's window: fold its per-window
+            # counter deltas into the state's hierarchy.  Every access hits
+            # L1 exactly once, so a hierarchy that has folded the slices of
+            # [0, start_index) -- and nothing else -- shows exactly
+            # start_index L1 accesses; anything else means a slice was
+            # folded twice, skipped, or mixed with replay() in one run.
             hierarchy = state.hierarchy
-            if hierarchy.l3.stats.accesses or hierarchy.l1.stats.accesses:
+            l1_accesses = hierarchy.l1.stats.accesses
+            if l1_accesses != events.start_index:
                 raise ValueError(
-                    "cannot fold pre-pass statistics into a hierarchy that "
-                    "already replayed accesses; do not mix replay() and "
-                    "replay_events() within one run"
+                    f"cannot fold the [{events.start_index}, {events.stop_index}) "
+                    f"pre-pass statistics into a hierarchy holding {l1_accesses} "
+                    "replayed accesses; each slice folds exactly once, in "
+                    "window order -- do not mix replay() and replay_events() "
+                    "within one run"
                 )
             for level, cache in (("l1", hierarchy.l1), ("l2", hierarchy.l2), ("l3", hierarchy.l3)):
                 cache.stats = cache.stats.merge(events.level_stats[level])

@@ -64,7 +64,7 @@ from repro.sim.results import (
     SuiteResults,
     TrafficBreakdown,
 )
-from repro.workloads.base import Trace
+from repro.workloads.base import Trace, calibrated_instruction_count
 
 #: Declared accuracy contract of the warm-up path: the merged execution time
 #: of a warm-up sharded run stays within this relative drift of the serial
@@ -226,6 +226,98 @@ def run_shard_step(task: ShardTask, carry: Optional[bytes]) -> Any:
     return state.serialize()
 
 
+#: One shard of one (benchmark, mode) pair on the *streamed* path: the suite
+#: task fields plus the shard window and the event-slice window width.  The
+#: payload is deliberately tiny -- a worker derives the store keys of the
+#: slices its window overlaps from (identity, window width) and fetches them
+#: from the persistent store; no trace and no full event stream ever crosses
+#: a process boundary or gets materialised.
+StreamShardTask = Tuple[
+    str,  # benchmark name
+    ModeParameters,
+    float,  # scale
+    int,  # num_accesses (full run length)
+    int,  # seed
+    Optional[SystemConfig],
+    Optional[EngineOptions],
+    int,  # window start
+    int,  # window stop
+    int,  # event-slice window width
+]
+
+
+def run_stream_shard_step(task: StreamShardTask, carry: Optional[bytes]) -> Any:
+    """Streamed-path worker: advance one pair's chain over one shard window.
+
+    Mirrors :func:`run_shard_step`'s exact checkpoint-handoff contract, but
+    the replay consumes windowed event *slices* fetched from the persistent
+    store by :func:`~repro.sim.distill.events_slice_key` instead of a
+    captured trace or a full-run stream: peak memory is bounded by one slice
+    (plus the checkpoint), independent of the run length.  A worker whose
+    store is missing a slice self-heals by regenerating the run's slices
+    (bounded-memory, via :func:`~repro.sim.distill.stream_event_slices`).
+    Slices are read with ``promote=False`` so the store's memory layer never
+    re-accumulates the run.  Bit-identical to the serial engine by the same
+    induction as the captured path; the vectorized batch replay does not
+    apply here (it is built around one full-run stream), so streamed replay
+    is always scalar.
+    """
+    from repro.sim.distill import (
+        MissEventStream,
+        events_slice_key,
+        stream_event_slices,
+    )
+    from repro.sim.store import default_store
+
+    name, params, scale, num_accesses, seed, config, options, start, stop, window = task
+    engine = SimulationEngine(params, config=config, options=options, seed=seed)
+    store = default_store()
+
+    def load_slice(position: int) -> MissEventStream:
+        index = position // window
+        key = events_slice_key(name, scale, seed, num_accesses, window, index, config)
+        events = store.get(key, decoder=MissEventStream.from_payload, promote=False)
+        if events is None:
+            stream_event_slices(name, scale, seed, num_accesses, window, config, store)
+            events = store.get(key, decoder=MissEventStream.from_payload, promote=False)
+        if events is None:
+            raise RuntimeError(
+                f"event slice {index} of {name!r} (window {window}) is "
+                "missing from the store and could not be regenerated"
+            )
+        return events
+
+    if carry is None:
+        state: Optional[EngineState] = None
+    else:
+        state = EngineState.deserialize(carry)
+    meta: Optional[MissEventStream] = None
+    position = start
+    while position < stop:
+        events = load_slice(position)
+        meta = events.run_meta(num_accesses)
+        if state is None:
+            state = engine.begin(meta, num_accesses)
+            if not engine.distillable(state.components):
+                raise ValueError(
+                    f"mode {params.label!r} has components that cannot be "
+                    "event-driven; streamed execution requires distillable "
+                    "components (declare access_period or use the captured "
+                    "path)"
+                )
+        if state.position != position:
+            raise ValueError(
+                f"checkpoint resumes at access {state.position}, "
+                f"but this shard's window starts at {position}"
+            )
+        engine.replay_events(state, events, stop=min(stop, events.stop_index))
+        position = state.position
+    assert state is not None and meta is not None
+    if stop >= num_accesses:
+        return engine.finish(state, meta)
+    return state.serialize()
+
+
 @dataclass
 class ShardCounters:
     """One warm-up shard's counter deltas over its (post-warm-up) window."""
@@ -329,11 +421,16 @@ def merge_warm_shards(
     """Fold independent warm-up shard deltas into one :class:`SimulationResult`.
 
     Counters sum; the instruction count is re-calibrated from the *summed*
-    miss count (exactly the serial formula); execution time is recomputed
-    through the same analytical model.  Ratio telemetry (cache hit rates) is
-    merged as a miss-weighted average and dict-shaped telemetry (Trip format
-    mix, Toleo usage, timeline) is concatenated or taken from the final
-    shard -- all approximations, which is why this path sits behind the
+    miss count (through :func:`calibrated_instruction_count`, exactly the
+    serial formula); execution time is recomputed through the same
+    analytical model.  Ratio telemetry (cache hit rates) is merged as a
+    miss-weighted average -- a field present in some shards but not others
+    raises, because silently dropping a shard from the average would skew
+    the merged rate.  Dict-shaped telemetry (Trip format mix, Toleo usage
+    and peak bytes) is summed element-wise: each independent shard's counts
+    cover only its own window, so last-shard-wins would report a fraction
+    of the run (the summed peak is a conservative upper bound on the true
+    peak).  All approximations, which is why this path sits behind the
     explicit warm-up knob and the :data:`WARMUP_DRIFT_GATE`.
     """
     if not shards:
@@ -355,10 +452,12 @@ def merge_warm_shards(
         writebacks += shard.writebacks
 
     first = shards[0]
-    if llc_misses > 0 and first.llc_mpki > 0:
-        instructions = max(int(llc_misses * 1000.0 / first.llc_mpki), num_accesses)
-    else:
-        instructions = int(num_accesses * first.instructions_per_access)
+    instructions = calibrated_instruction_count(
+        num_accesses,
+        first.llc_mpki,
+        first.instructions_per_access,
+        llc_misses=llc_misses if llc_misses > 0 else None,
+    )
 
     engine = SimulationEngine(params, config=config, options=options, seed=seed)
     execution_time_ns = engine._execution_time_ns(instructions, latency_sums, traffic)
@@ -367,22 +466,41 @@ def merge_warm_shards(
     measured: Dict[str, Any] = {}
     weights = [max(1, s.llc_read_misses + s.writebacks) for s in shards]
     for rate_field in ("mac_cache_hit_rate", "stealth_cache_hit_rate"):
-        rated = [
-            (s.telemetry[rate_field], w)
-            for s, w in zip(shards, weights)
-            if rate_field in s.telemetry
-        ]
-        if rated:
-            total_weight = sum(w for _, w in rated)
-            measured[rate_field] = sum(r * w for r, w in rated) / total_weight
+        present = [rate_field in s.telemetry for s in shards]
+        if any(present) and not all(present):
+            raise ValueError(
+                f"telemetry field {rate_field!r} is present in "
+                f"{sum(present)} of {len(shards)} shards; a partial "
+                "weighted average would silently skew the merged rate, so "
+                "presence must be all-or-nothing"
+            )
+        if all(present):
+            total_weight = sum(weights)
+            measured[rate_field] = (
+                sum(s.telemetry[rate_field] * w for s, w in zip(shards, weights))
+                / total_weight
+            )
     timeline = [
         sample for s in shards for sample in s.telemetry.get("toleo_usage_timeline", [])
     ]
     if timeline:
         measured["toleo_usage_timeline"] = timeline
-    for dict_field in ("trip_format_counts", "toleo_usage_bytes", "toleo_peak_bytes"):
-        if dict_field in shards[-1].telemetry:
-            measured[dict_field] = shards[-1].telemetry[dict_field]
+    # Count telemetry (Trip format mix, Toleo usage/peak bytes): each
+    # independent shard's counts cover only the pages its own window touched,
+    # so they sum across shards (dicts element-wise, scalars directly) --
+    # last-shard-wins would report only the final window's slice of the run.
+    for count_field in ("trip_format_counts", "toleo_usage_bytes", "toleo_peak_bytes"):
+        values = [s.telemetry[count_field] for s in shards if count_field in s.telemetry]
+        if not values:
+            continue
+        if isinstance(values[0], dict):
+            totals: Dict[Any, Any] = {}
+            for value in values:
+                for bucket, count in value.items():
+                    totals[bucket] = totals.get(bucket, 0) + count
+            measured[count_field] = totals
+        else:
+            measured[count_field] = sum(values)
 
     return SimulationResult(
         workload=workload_name,
@@ -431,6 +549,43 @@ def shard_chain(
             spec.warmup,
             exact_distill,
             vector and exact_distill,
+        )
+        for start, stop in shard_bounds(num_accesses, spec.shard_size)
+    ]
+
+
+def stream_shard_chain(
+    name: str,
+    mode: ModeLike,
+    spec: ShardSpec,
+    scale: float,
+    num_accesses: int,
+    seed: int,
+    window: int,
+    config: Optional[SystemConfig] = None,
+    options: Optional[EngineOptions] = None,
+) -> List[StreamShardTask]:
+    """One (benchmark, mode) pair's streamed shard tasks, in window order."""
+    if not spec.exact:
+        raise ValueError(
+            "streamed execution is exact by construction; it cannot be "
+            "combined with the approximate --shard-warmup path"
+        )
+    if window <= 0:
+        raise ValueError(f"stream window must be positive, got {window}")
+    params = mode_parameters(mode)
+    return [
+        (
+            name,
+            params,
+            scale,
+            num_accesses,
+            seed,
+            config,
+            options,
+            start,
+            stop,
+            window,
         )
         for start, stop in shard_bounds(num_accesses, spec.shard_size)
     ]
@@ -522,6 +677,7 @@ def run_suite_sharded(
     jobs: Optional[int] = None,
     distill: bool = True,
     vector: bool = True,
+    stream: Optional[int] = None,
 ) -> SuiteResults:
     """Run the benchmark suite with every (benchmark, mode) pair sharded.
 
@@ -534,8 +690,50 @@ def run_suite_sharded(
     the warm-up path flattens all shards of all pairs into one
     ``parallel_map`` list (it never distills -- its approximation lives in
     the warm-up replay itself).
+
+    ``stream`` (a window width in accesses) selects the bounded-memory
+    streamed path instead: the parent distills each benchmark once,
+    window by window, into persistent ``events-slice`` store entries
+    (:func:`~repro.sim.distill.stream_event_slices`), and every shard task
+    replays from slice store keys -- no full trace or full event stream is
+    ever materialised, in the parent or in any worker.  Exact path only,
+    and bit-identical to it, so streamed runs share the captured runs'
+    persistent store entries.
     """
     names = list(benchmark_names)
+    if stream is not None:
+        from repro.sim.distill import stream_event_slices
+
+        if not spec.exact:
+            raise ValueError(
+                "streamed execution is exact by construction; it cannot be "
+                "combined with the approximate --shard-warmup path"
+            )
+        if stream <= 0:
+            raise ValueError(f"stream window must be positive, got {stream}")
+        # Pre-distill the slices in the parent (a no-op when they are
+        # already stored), so the workers' loads are warm disk hits instead
+        # of one redundant regeneration per worker.
+        for name in names:
+            stream_event_slices(name, scale, seed, num_accesses, stream, config)
+        labels = ordered_modes(modes)
+        pairs = [(name, label) for name in names for label in labels]
+        stream_chains = [
+            stream_shard_chain(
+                name,
+                label,
+                spec,
+                scale,
+                num_accesses,
+                seed,
+                stream,
+                config,
+                options,
+            )
+            for name, label in pairs
+        ]
+        finals = pipelined_map(run_stream_shard_step, stream_chains, jobs=jobs)
+        return _stitch_suite(pairs, finals, modes)
     if distill and spec.exact:
         # Pre-distill in the parent so forked workers inherit the streams
         # (and the shared MAC tier) through the store's memory layer (see
@@ -592,6 +790,15 @@ def run_suite_sharded(
                 )
             )
 
+    return _stitch_suite(pairs, finals, modes)
+
+
+def _stitch_suite(
+    pairs: Sequence[Tuple[str, str]],
+    finals: Sequence[SimulationResult],
+    modes: Sequence[ModeLike],
+) -> SuiteResults:
+    """Nest per-pair results into the suite shape and stitch baselines in."""
     complete: SuiteResults = {}
     for (name, label), result in zip(pairs, finals):
         complete.setdefault(name, {})[label] = result
@@ -613,11 +820,14 @@ __all__ = [
     "ShardCounters",
     "ShardSpec",
     "ShardTask",
+    "StreamShardTask",
     "merge_warm_shards",
     "run_shard_step",
     "run_sharded",
+    "run_stream_shard_step",
     "run_suite_sharded",
     "run_warm_shard",
     "shard_bounds",
     "shard_chain",
+    "stream_shard_chain",
 ]

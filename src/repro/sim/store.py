@@ -198,8 +198,13 @@ def content_key(kind: str, **params: Any) -> str:
 
 
 def _kind_of(key: str) -> str:
-    """The kind prefix of a content key (``"suite-ab12..."`` -> ``"suite"``)."""
-    return key.split("-", 1)[0]
+    """The kind prefix of a content key (``"suite-ab12..."`` -> ``"suite"``).
+
+    Only the trailing digest is stripped, so dashed kinds
+    (``"events-slice-ab12..."`` -> ``"events-slice"``) keep their own
+    namespace instead of folding into the first dash-separated word.
+    """
+    return key.rsplit("-", 1)[0]
 
 
 def _blob_name(digest: str) -> str:
@@ -484,7 +489,10 @@ class ResultStore:
             return _MISS
 
     def get(
-        self, key: str, decoder: Optional[Callable[[Any], Any]] = None
+        self,
+        key: str,
+        decoder: Optional[Callable[[Any], Any]] = None,
+        promote: bool = True,
     ) -> Optional[Any]:
         """Fetch a cached value, promoting decoded disk hits into memory.
 
@@ -492,6 +500,10 @@ class ResultStore:
         layer and returned; a decoder that rejects the payload degrades to a
         miss.  Without one (the decoder-less contract, see the class
         docstring) a disk hit returns the raw JSON payload, un-promoted.
+        ``promote=False`` skips the memory-layer insert (still serving
+        memory hits): bulk streaming readers -- one event slice per window of
+        a tera-scale run -- would otherwise grow the memory layer by the
+        whole run.
         """
         if key in self._memory:
             return self._memory[key]
@@ -506,7 +518,8 @@ class ResultStore:
             # A stale or hand-edited payload the decoder rejects must degrade
             # to a miss and a recompute, never an exception.
             return None
-        self._memory[key] = value
+        if promote:
+            self._memory[key] = value
         return value
 
     def put(
@@ -514,6 +527,7 @@ class ResultStore:
         key: str,
         value: Any,
         encoder: Optional[Callable[[Any], Any]] = None,
+        keep_in_memory: bool = True,
     ) -> None:
         """Insert a value; with an encoder it is also written to disk.
 
@@ -521,9 +535,15 @@ class ResultStore:
         for spilled payloads), so concurrent writers -- even hammering the
         same key -- serialise cleanly and a killed worker never leaves a
         half-written entry.  Any I/O failure degrades to memory-only caching
-        rather than failing the run.
+        rather than failing the run.  ``keep_in_memory=False`` writes the
+        disk layer only (requires an encoder -- a memory-less, encoder-less
+        put would silently store nothing): streaming producers persist one
+        window at a time without accumulating the run in the memory layer.
         """
-        self._memory[key] = value
+        if not keep_in_memory and encoder is None:
+            raise ValueError("keep_in_memory=False requires an encoder")
+        if keep_in_memory:
+            self._memory[key] = value
         if encoder is None:
             return
         payload_text = json.dumps(encoder(value), separators=(",", ":"))

@@ -259,6 +259,7 @@ def run_sweep(
     shard_size: Optional[int] = None,
     distill: bool = True,
     vector: bool = True,
+    stream: Optional[int] = None,
 ) -> SweepResult:
     """Run the full grid, fetching cached points and fanning out the rest.
 
@@ -272,6 +273,12 @@ def run_sweep(
     (:func:`repro.sim.shard.run_suite_sharded`): same results, same store
     keys, but each pair's trace pipelines across the pool in shard-sized
     steps instead of as one monolithic replay.
+
+    ``stream`` (a window width in accesses) routes *every* uncached point
+    through the bounded-memory streamed runner -- event-slice store entries
+    as the task payload, no captured traces -- still bit-identical, still
+    the same store keys; points without a shard width run as one full-length
+    shard.
     """
     names = tuple(benchmarks)
     mode_order = tuple(mode_label(mode) for mode in modes)
@@ -309,7 +316,7 @@ def run_sweep(
     tasks: List[SuiteTask] = []
     slices: List[Tuple[int, int, int]] = []  # (point index, start, stop)
     for i, point in enumerate(points):
-        if suites[i] is not None or point.shard_size is not None:
+        if suites[i] is not None or point.shard_size is not None or stream is not None:
             continue
         point_tasks = suite_tasks(
             names,
@@ -356,8 +363,10 @@ def run_sweep(
 
     # Sharded points pipeline their shard chains over their own pool; their
     # results (and store entries) are bit-identical to the unsharded path.
+    # With ``stream`` set every uncached point lands here (a point without a
+    # shard width runs as one full-length shard).
     for i, point in enumerate(points):
-        if suites[i] is not None or point.shard_size is None:
+        if suites[i] is not None or (point.shard_size is None and stream is None):
             continue
         if use_cache:
             # Exact sharding is key-invariant across shard widths, so an
@@ -370,7 +379,7 @@ def run_sweep(
                 continue
         suite = run_suite_sharded(
             names,
-            ShardSpec(shard_size=point.shard_size),
+            ShardSpec(shard_size=point.shard_size or point.num_accesses),
             modes=mode_order,
             scale=point.scale,
             num_accesses=point.num_accesses,
@@ -380,6 +389,7 @@ def run_sweep(
             jobs=jobs,
             distill=distill,
             vector=vector,
+            stream=stream,
         )
         suites[i] = suite
         if use_cache:

@@ -19,6 +19,34 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 from repro.core.config import CACHE_BLOCK_BYTES, GIB, PAGE_BYTES
 
 
+def calibrated_instruction_count(
+    num_accesses: int,
+    llc_mpki: float,
+    instructions_per_access: float,
+    llc_misses: Optional[int] = None,
+    start_index: int = 0,
+) -> int:
+    """The one llc_mpki -> instructions calibration, shared by every caller.
+
+    With an observed LLC miss count (and a positive MPKI reference), the
+    instruction count is calibrated so the workload's MPKI matches its Table 2
+    value (``instructions = misses * 1000 / MPKI``), floored at
+    ``num_accesses``.  Without one, the fixed ``instructions_per_access``
+    factor is applied to the global window ``[start_index, start_index +
+    num_accesses)`` in floor-difference form, which telescopes: the
+    uncalibrated counts of a contiguous partition always sum to exactly the
+    whole trace's count.  :meth:`Workload.instruction_count`,
+    :meth:`Trace.instruction_count` and the shard merge all route through
+    here so the calibration can never drift between them.
+    """
+    if llc_misses is not None and llc_mpki > 0:
+        calibrated = int(llc_misses * 1000.0 / llc_mpki)
+        return max(calibrated, num_accesses)
+    return int((start_index + num_accesses) * instructions_per_access) - int(
+        start_index * instructions_per_access
+    )
+
+
 @dataclass(frozen=True)
 class MemoryAccess:
     """One memory reference in a trace."""
@@ -234,6 +262,48 @@ class Workload:
             writes=writes,
         )
 
+    def stream(self, num_accesses: int = 200_000, window: int = 100_000) -> Iterator["Trace"]:
+        """Yield the trace as contiguous :class:`Trace` windows of ``window``
+        accesses (final window may be shorter), never holding more than one
+        window's packed arrays at a time.
+
+        The phase generators are single-pass over one RNG, so streaming is
+        identical to one-shot capture by construction: concatenating the
+        yielded windows reproduces :meth:`capture` exactly, and each window's
+        ``start_index`` records its global position so instruction
+        calibration and timeline sampling stay consistent.  This is the
+        bounded-memory producer for tera-scale runs -- a 10^10-access run
+        touches ``window`` accesses of memory, not the trace.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        addresses = array("Q")
+        writes = bytearray()
+        start = 0
+        for access in self.generate(num_accesses):
+            addresses.append(access.address)
+            writes.append(1 if access.is_write else 0)
+            if len(addresses) == window:
+                yield self._window_trace(addresses, writes, start)
+                start += window
+                addresses = array("Q")
+                writes = bytearray()
+        if addresses:
+            yield self._window_trace(addresses, writes, start)
+
+    def _window_trace(self, addresses: array, writes: bytearray, start: int) -> "Trace":
+        return Trace(
+            name=self.name,
+            scale=self.scale,
+            seed=self.seed,
+            footprint_bytes=self.footprint_bytes,
+            llc_mpki=self.characteristics.llc_mpki,
+            instructions_per_access=self.characteristics.instructions_per_access,
+            addresses=addresses,
+            writes=writes,
+            start_index=start,
+        )
+
     # -- derived metrics --------------------------------------------------------------------
 
     @property
@@ -253,10 +323,12 @@ class Workload:
         Without a miss count the fixed ``instructions_per_access`` factor is
         used instead.
         """
-        if llc_misses is not None and self.characteristics.llc_mpki > 0:
-            calibrated = int(llc_misses * 1000.0 / self.characteristics.llc_mpki)
-            return max(calibrated, num_accesses)
-        return int(num_accesses * self.instructions_per_access)
+        return calibrated_instruction_count(
+            num_accesses,
+            self.characteristics.llc_mpki,
+            self.instructions_per_access,
+            llc_misses=llc_misses,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -387,16 +459,17 @@ class Trace:
         num_accesses)``; the floor-difference form telescopes, so the shard
         counts of a partition always sum to exactly the parent trace's count.
         """
-        if llc_misses is not None and self.llc_mpki > 0:
-            calibrated = int(llc_misses * 1000.0 / self.llc_mpki)
-            return max(calibrated, num_accesses)
-        start = self.start_index
-        return int((start + num_accesses) * self.instructions_per_access) - int(
-            start * self.instructions_per_access
+        return calibrated_instruction_count(
+            num_accesses,
+            self.llc_mpki,
+            self.instructions_per_access,
+            llc_misses=llc_misses,
+            start_index=self.start_index,
         )
 
 
 __all__ = [
+    "calibrated_instruction_count",
     "MemoryAccess",
     "MemoryRegion",
     "Trace",

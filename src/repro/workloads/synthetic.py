@@ -5,6 +5,11 @@ are all sensitive to *version locality* -- the degree to which writes within
 a page happen uniformly.  :class:`SyntheticWorkload` exposes that locality as
 a single knob so the ablation benchmarks can sweep it from perfectly uniform
 (all pages flat) to fully random (pages forced to uneven/full).
+
+Streaming contract: the access generator is seeded once and consumed in a
+single pass, so ``Workload.stream`` windows are bit-identical to a
+``capture()`` of the same length.  Keep the RNG draws strictly in emission
+order when extending this module.
 """
 
 from __future__ import annotations

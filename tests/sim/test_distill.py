@@ -452,13 +452,32 @@ class TestReplayEventsContract:
         with pytest.raises(ValueError, match="cannot replay window"):
             engine.replay_events(state, events, stop=TRACE_LEN + 1)
 
-    def test_stream_must_cover_the_full_run(self, trace):
+    def test_stream_must_cover_the_requested_window(self, trace):
+        # PR 9 dropped the full-run-stream requirement: a windowed slice
+        # replays its own window, but a replay reaching past the slice's
+        # stop index must still fail loudly.
         engine = SimulationEngine.from_mode("CI", config=SMALL_CONFIG, seed=7)
         distiller = HierarchyDistiller(SMALL_CONFIG)
         partial = distiller.advance(trace, 0, 100)
         state = engine.begin(partial, TRACE_LEN)
         with pytest.raises(ValueError, match="event stream covers"):
-            engine.replay_events(state, partial)
+            engine.replay_events(state, partial, stop=TRACE_LEN)
+
+    def test_slice_replays_only_its_own_window(self, trace):
+        # Defaulting ``stop`` on a slice advances to the slice's stop index,
+        # not the run's end; a second slice must then pick up exactly there.
+        engine = SimulationEngine.from_mode("CI", config=SMALL_CONFIG, seed=7)
+        distiller = HierarchyDistiller(SMALL_CONFIG)
+        first = distiller.advance(trace, 0, 100)
+        second = distiller.advance(trace, 100, TRACE_LEN)
+        state = engine.begin(first.run_meta(TRACE_LEN), TRACE_LEN)
+        engine.replay_events(state, first)
+        assert state.position == 100
+        with pytest.raises(ValueError, match="event stream covers"):
+            # The first slice cannot serve the second window.
+            engine.replay_events(state, first, stop=TRACE_LEN)
+        engine.replay_events(state, second)
+        assert state.position == TRACE_LEN
 
     def test_mixing_full_and_event_replay_is_rejected(self, trace, events):
         engine = SimulationEngine.from_mode("CI", config=SMALL_CONFIG, seed=7)

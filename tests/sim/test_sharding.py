@@ -370,3 +370,122 @@ class TestShardSizeSweepAxis:
             main(argv)
         assert excinfo.value.code == 2
         assert message in capsys.readouterr().err
+
+
+class TestWarmShardTelemetryMerge:
+    """Regression pins for the `merge_warm_shards` telemetry bugfix sweep.
+
+    The warm-path merge used to build its telemetry dict by update() in
+    shard order, so every count field (Trip format mix, Toleo usage/peak
+    bytes) silently reported only the *last* shard's window.  Counts must
+    sum across shards -- dicts element-wise, scalars directly -- and ratio
+    fields must be either present in every shard or in none.
+    """
+
+    @staticmethod
+    def make_counters(telemetry, llc_misses=10, llc_read_misses=8, writebacks=2):
+        from repro.sim.results import LatencyBreakdown, TrafficBreakdown
+        from repro.sim.shard import ShardCounters
+
+        return ShardCounters(
+            llc_misses=llc_misses,
+            llc_read_misses=llc_read_misses,
+            writebacks=writebacks,
+            traffic=TrafficBreakdown(),
+            latency=LatencyBreakdown(),
+            llc_mpki=2.0,
+            instructions_per_access=3.0,
+            telemetry=telemetry,
+        )
+
+    @staticmethod
+    def merge(shards):
+        from repro.sim.configs import mode_parameters
+        from repro.sim.shard import merge_warm_shards
+
+        return merge_warm_shards(
+            "memcached", mode_parameters("Toleo"), 100, shards, seed=7
+        )
+
+    def test_dict_telemetry_sums_element_wise_across_shards(self):
+        merged = self.merge(
+            [
+                self.make_counters(
+                    {
+                        "trip_format_counts": {"full": 3, "half": 1},
+                        "toleo_usage_bytes": {"flat": 100, "dynamic": 40},
+                    }
+                ),
+                self.make_counters(
+                    {
+                        "trip_format_counts": {"full": 2, "quarter": 5},
+                        "toleo_usage_bytes": {"flat": 60},
+                    }
+                ),
+            ]
+        )
+        assert merged.trip_format_counts == {"full": 5, "half": 1, "quarter": 5}
+        assert merged.toleo_usage_bytes == {"flat": 160, "dynamic": 40}
+
+    def test_scalar_count_telemetry_sums_across_shards(self):
+        merged = self.merge(
+            [
+                self.make_counters({"toleo_peak_bytes": 1000}),
+                self.make_counters({"toleo_peak_bytes": 2500}),
+                self.make_counters({"toleo_peak_bytes": 500}),
+            ]
+        )
+        assert merged.toleo_peak_bytes == 4000
+
+    def test_mixed_rate_field_presence_raises(self):
+        shards = [
+            self.make_counters({"mac_cache_hit_rate": 0.5}),
+            self.make_counters({}),
+        ]
+        with pytest.raises(ValueError, match="all-or-nothing"):
+            self.merge(shards)
+
+    def test_rate_fields_merge_miss_weighted(self):
+        shards = [
+            self.make_counters({"mac_cache_hit_rate": 0.25}, llc_read_misses=30, writebacks=0),
+            self.make_counters({"mac_cache_hit_rate": 0.75}, llc_read_misses=10, writebacks=0),
+        ]
+        merged = self.merge(shards)
+        assert merged.mac_cache_hit_rate == pytest.approx((0.25 * 30 + 0.75 * 10) / 40)
+
+    def test_merged_instruction_count_uses_the_shared_calibration(self):
+        from repro.workloads.base import calibrated_instruction_count
+
+        shards = [self.make_counters({}, llc_misses=40), self.make_counters({}, llc_misses=25)]
+        merged = self.merge(shards)
+        assert merged.instructions == calibrated_instruction_count(
+            100, 2.0, 3.0, llc_misses=65
+        )
+
+    def test_end_to_end_warm_counts_are_the_shard_sum(self, trace):
+        # Replicate the warm path's per-shard counter extraction and pin the
+        # merged result's count telemetry to the element-wise shard sums.
+        from repro.sim.shard import _warm_shard_counters
+
+        spec = ShardSpec(TRACE_LEN // 4, warmup=TRACE_LEN // 4)
+        engine = SimulationEngine.from_mode("Toleo", config=SMALL_CONFIG, seed=7)
+        counters = [
+            _warm_shard_counters(engine, trace, TRACE_LEN, start, stop, spec.warmup)
+            for start, stop in shard_bounds(TRACE_LEN, spec.shard_size)
+        ]
+        warm = run_sharded("Toleo", trace, spec, config=SMALL_CONFIG, seed=7)
+
+        expected_formats = {}
+        for c in counters:
+            for fmt, count in c.telemetry["trip_format_counts"].items():
+                expected_formats[fmt] = expected_formats.get(fmt, 0) + count
+        assert warm.trip_format_counts == expected_formats
+        assert warm.toleo_peak_bytes == sum(
+            c.telemetry["toleo_peak_bytes"] for c in counters
+        )
+        expected_usage = {}
+        for c in counters:
+            for bucket, count in c.telemetry["toleo_usage_bytes"].items():
+                expected_usage[bucket] = expected_usage.get(bucket, 0) + count
+        assert warm.toleo_usage_bytes == expected_usage
+        assert len(counters) > 1  # the pin is vacuous with a single shard

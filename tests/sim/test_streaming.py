@@ -1,0 +1,380 @@
+"""Differential tests for streamed trace ingestion (PR 9).
+
+The streamed path -- bounded-memory capture windows, windowed distillation
+into ``events-slice`` store entries, shard tasks replaying from slice store
+keys -- is an *execution strategy*, never a model change: for every
+registered mode, at every shard width, under every window size, it must be
+bit-identical to the captured serial engine and share its persistent store
+entries.  These tests are the pin, in the same no-tolerance
+``SimulationResult.to_dict()`` discipline as ``test_sharding.py``.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.sim  # noqa: F401  -- registers the variant modes
+from repro.core.config import KIB, CacheConfig, SystemConfig
+from repro.sim.configs import registered_modes
+from repro.sim.distill import (
+    HierarchyDistiller,
+    MissEventStream,
+    events_key,
+    events_slice_key,
+    slice_bounds,
+    stream_event_slices,
+)
+from repro.sim.engine import run_suite
+from repro.sim.shard import (
+    ShardSpec,
+    run_stream_shard_step,
+    run_suite_sharded,
+    stream_shard_chain,
+)
+from repro.sim.store import ResultStore, default_store
+from repro.workloads.registry import get_workload
+
+SMALL_CONFIG = dataclasses.replace(
+    SystemConfig(),
+    l1_config=CacheConfig("L1", 8 * KIB, 4, latency_cycles=4),
+    l2_config=CacheConfig("L2", 64 * KIB, 8, latency_cycles=14),
+    l3_config=CacheConfig("L3", 256 * KIB, 8, latency_cycles=49),
+    mac_cache_bytes=64 * KIB,
+)
+
+TRACE_LEN = 260
+
+#: Shard widths crossing the slice windows at every alignment: degenerate,
+#: prime, slice-misaligned halving, exactly the run, and beyond it.
+SHARD_SIZES = (1, 7, TRACE_LEN // 2, TRACE_LEN, TRACE_LEN + 13)
+
+#: The issue's "at least two window sizes": one that divides nothing evenly
+#: (shard and slice boundaries interleave) and one covering the whole run.
+WINDOWS = (64, TRACE_LEN)
+
+ALL_MODES = registered_modes()
+
+
+@pytest.fixture(scope="module")
+def serial_suite():
+    """The captured serial suite per registered mode (the ground truth)."""
+    return run_suite(
+        ["memcached"],
+        modes=ALL_MODES,
+        scale=0.002,
+        num_accesses=TRACE_LEN,
+        seed=7,
+        config=SMALL_CONFIG,
+    )["memcached"]
+
+
+class TestStreamedExecutionIsBitIdentical:
+    """Streamed replay == captured serial, all modes x widths x windows."""
+
+    @pytest.mark.parametrize("window", WINDOWS)
+    @pytest.mark.parametrize("shard_size", SHARD_SIZES)
+    def test_matrix_matches_serial(self, shard_size, window, serial_suite):
+        streamed = run_suite_sharded(
+            ["memcached"],
+            ShardSpec(shard_size),
+            modes=ALL_MODES,
+            scale=0.002,
+            num_accesses=TRACE_LEN,
+            seed=7,
+            config=SMALL_CONFIG,
+            jobs=1,
+            stream=window,
+        )["memcached"]
+        for mode in ALL_MODES:
+            assert streamed[mode].to_dict() == serial_suite[mode].to_dict(), (
+                f"mode={mode} shard_size={shard_size} window={window}"
+            )
+
+    def test_chain_checkpoints_round_trip(self):
+        """Driving the chain step by step (the pool's view) also matches."""
+        chain = stream_shard_chain(
+            "memcached",
+            "Toleo",
+            ShardSpec(7),
+            0.002,
+            TRACE_LEN,
+            7,
+            64,
+            SMALL_CONFIG,
+        )
+        carry = None
+        for task in chain[:-1]:
+            carry = run_stream_shard_step(task, carry)
+            assert isinstance(carry, bytes)
+        final = run_stream_shard_step(chain[-1], carry)
+        from repro.sim.engine import SimulationEngine
+
+        serial = SimulationEngine.from_mode(
+            "Toleo", config=SMALL_CONFIG, seed=7
+        ).run(
+            get_workload("memcached", scale=0.002, seed=7).capture(TRACE_LEN),
+            num_accesses=TRACE_LEN,
+        )
+        assert final.to_dict() == serial.to_dict()
+
+
+class TestEventSlices:
+    def test_slices_telescope_to_one_shot_distillation(self):
+        """concat(stored slices) == the PR 5 full-run stream, bit for bit."""
+        store = ResultStore(root=None)
+        keys = stream_event_slices(
+            "memcached", 0.002, 7, TRACE_LEN, 64, SMALL_CONFIG, store
+        )
+        slices = [
+            store.get(key, decoder=MissEventStream.from_payload) for key in keys
+        ]
+        assert all(s is not None for s in slices)
+        merged = MissEventStream.concat(slices)
+        trace = get_workload("memcached", scale=0.002, seed=7).capture(TRACE_LEN)
+        one_shot = HierarchyDistiller(SMALL_CONFIG).distill(trace, TRACE_LEN)
+        assert merged.to_payload() == one_shot.to_payload()
+
+    def test_warm_store_skips_regeneration(self, monkeypatch):
+        store = ResultStore(root=None)
+        stream_event_slices("memcached", 0.002, 7, TRACE_LEN, 64, SMALL_CONFIG, store)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("warm slices must not re-stream the workload")
+
+        monkeypatch.setattr(
+            "repro.workloads.registry.get_workload", boom
+        )
+        keys = stream_event_slices(
+            "memcached", 0.002, 7, TRACE_LEN, 64, SMALL_CONFIG, store
+        )
+        assert len(keys) == len(slice_bounds(TRACE_LEN, 64))
+
+    def test_slice_key_adds_window_axis_to_events_identity(self):
+        base = events_slice_key("bsw", 0.002, 7, 2000, 500, 0, SMALL_CONFIG)
+        assert base.startswith("events-slice-")
+        assert base != events_slice_key("bsw", 0.002, 7, 2000, 500, 1, SMALL_CONFIG)
+        assert base != events_slice_key("bsw", 0.002, 7, 2000, 250, 0, SMALL_CONFIG)
+        assert base != events_slice_key("bsw", 0.002, 7, 2000, 500, 0, None)
+        # Same identity axes as the full-run stream key, so geometry-only
+        # config changes share slices exactly as they share event streams.
+        assert events_key("bsw", 0.002, 7, 2000, SMALL_CONFIG) == events_key(
+            "bsw",
+            0.002,
+            7,
+            2000,
+            dataclasses.replace(SMALL_CONFIG, local_dram_latency_ns=999.0),
+        )
+        assert base == events_slice_key(
+            "bsw",
+            0.002,
+            7,
+            2000,
+            500,
+            0,
+            dataclasses.replace(SMALL_CONFIG, local_dram_latency_ns=999.0),
+        )
+
+    def test_missing_slice_self_heals(self):
+        """A worker with a cold or gc'd store regenerates the slices."""
+        store = default_store()
+        keys = stream_event_slices("memcached", 0.002, 7, TRACE_LEN, 64, SMALL_CONFIG)
+        for key in keys:
+            store.invalidate(key)
+        chain = stream_shard_chain(
+            "memcached",
+            "CI",
+            ShardSpec(TRACE_LEN),
+            0.002,
+            TRACE_LEN,
+            7,
+            64,
+            SMALL_CONFIG,
+        )
+        result = run_stream_shard_step(chain[0], None)
+        assert result.llc_misses > 0
+        assert all(key in store for key in keys)
+
+    def test_slice_entries_keep_their_own_kind_namespace(self):
+        # `repro store ls --kind events-slice` must filter slices, and
+        # `--kind events` must NOT include them: only the trailing digest is
+        # stripped when deriving an entry's kind.
+        from repro.sim.store import _kind_of
+
+        digest = "ab" * 32
+        assert _kind_of(f"events-slice-{digest}") == "events-slice"
+        assert _kind_of(f"events-{digest}") == "events"
+        assert _kind_of(f"suite-{digest}") == "suite"
+
+    def test_memory_opt_out_without_encoder_is_rejected(self):
+        # keep_in_memory=False drops the value from the memory layer, so
+        # without an encoder the entry would be silently lost entirely.
+        store = ResultStore(root=None)
+        with pytest.raises(ValueError, match="requires an encoder"):
+            store.put("events-slice-test", {"x": 1}, keep_in_memory=False)
+
+    def test_get_with_promote_false_leaves_memory_alone(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(
+            "events-slice-demo",
+            {"x": 1},
+            encoder=lambda value: value,
+            keep_in_memory=False,
+        )
+        assert "events-slice-demo" not in store._memory
+        fetched = store.get(
+            "events-slice-demo", decoder=lambda payload: payload, promote=False
+        )
+        assert fetched == {"x": 1}
+        assert "events-slice-demo" not in store._memory
+        promoted = store.get("events-slice-demo", decoder=lambda payload: payload)
+        assert promoted == {"x": 1}
+        assert "events-slice-demo" in store._memory
+
+
+class TestStreamedStoreKeySemantics:
+    """Streamed and captured runs share ``suite_key`` store entries."""
+
+    ARGS = (("bsw",), ("CI",), 0.002, 2000, 1234, None, None)
+
+    def test_streamed_served_from_captured_entry_and_back(self):
+        from repro.experiments.harness import run_benchmarks
+
+        names, modes, scale, accesses, seed = self.ARGS[:5]
+        captured = run_benchmarks(
+            names, modes=modes, scale=scale, num_accesses=accesses, seed=seed
+        )
+        streamed = run_benchmarks(
+            names,
+            modes=modes,
+            scale=scale,
+            num_accesses=accesses,
+            seed=seed,
+            stream=500,
+        )
+        # Same content key -> the store's memory layer preserves identity.
+        assert streamed is captured
+
+    def test_cold_streamed_entry_serves_captured_run(self):
+        from repro.experiments.harness import run_benchmarks
+
+        streamed = run_benchmarks(
+            ("pr",), modes=("CI",), scale=0.002, num_accesses=1700, seed=77, stream=400
+        )
+        captured = run_benchmarks(
+            ("pr",), modes=("CI",), scale=0.002, num_accesses=1700, seed=77
+        )
+        assert captured is streamed
+
+
+class TestStreamValidation:
+    def test_stream_rejects_warmup(self):
+        with pytest.raises(ValueError, match="exact by construction"):
+            run_suite_sharded(
+                ["bsw"],
+                ShardSpec(100, warmup=50),
+                modes=("CI",),
+                num_accesses=200,
+                stream=50,
+            )
+
+    def test_chain_rejects_warmup_and_bad_window(self):
+        with pytest.raises(ValueError, match="exact by construction"):
+            stream_shard_chain(
+                "bsw", "CI", ShardSpec(100, warmup=0), 0.002, 200, 7, 50
+            )
+        with pytest.raises(ValueError, match="window must be positive"):
+            stream_shard_chain("bsw", "CI", ShardSpec(100), 0.002, 200, 7, 0)
+
+    def test_harness_rejects_bad_stream(self):
+        from repro.experiments.harness import run_benchmarks
+
+        with pytest.raises(ValueError, match="stream window must be positive"):
+            run_benchmarks(("bsw",), modes=("CI",), num_accesses=200, stream=-1)
+        with pytest.raises(ValueError, match="exact by construction"):
+            run_benchmarks(
+                ("bsw",),
+                modes=("CI",),
+                num_accesses=200,
+                stream=100,
+                shard_size=100,
+                shard_warmup=50,
+            )
+
+    def test_slice_bounds_validation(self):
+        assert slice_bounds(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        with pytest.raises(ValueError):
+            slice_bounds(0, 4)
+        with pytest.raises(ValueError):
+            slice_bounds(10, 0)
+
+
+class TestCliStreamFlag:
+    def test_bench_reports_streaming_state(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "bench",
+                    "--benchmarks",
+                    "bsw",
+                    "--modes",
+                    "CI",
+                    "--accesses",
+                    "1200",
+                    "--no-cache",
+                    "--stream",
+                    "400",
+                ]
+            )
+            == 0
+        )
+        assert "stream 400 (windowed event slices)" in capsys.readouterr().out
+
+    def test_stream_flag_misuse_is_a_usage_error(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--stream", "0"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "bench",
+                    "--shard-size",
+                    "100",
+                    "--shard-warmup",
+                    "50",
+                    "--stream",
+                    "100",
+                ]
+            )
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig6", "--stream", "100"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_sweep_accepts_stream(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--param",
+                    "seed=5,6",
+                    "--benchmarks",
+                    "bsw",
+                    "--modes",
+                    "CI",
+                    "--accesses",
+                    "900",
+                    "--no-cache",
+                    "--stream",
+                    "300",
+                ]
+            )
+            == 0
+        )
+        assert "2 grid points" in capsys.readouterr().out
