@@ -90,6 +90,12 @@ from repro.sim.configs import (
     registered_modes,
     resolve_mode,
 )
+from repro.sim.faults import (
+    FailureManifest,
+    FaultPlan,
+    SupervisionPolicy,
+    TaskFailedError,
+)
 from repro.sim.store import default_store
 from repro.sim.sweep import SweepAxisError, parse_axis, run_sweep
 from repro.workloads.registry import BENCHMARKS, UnknownBenchmarkError
@@ -304,6 +310,46 @@ def build_parser() -> argparse.ArgumentParser:
         "(results are bit-identical either way; vectorization is also "
         "skipped automatically when numpy is not installed)",
     )
+    parser.add_argument(
+        "--on-failure",
+        choices=["raise", "degrade"],
+        default=None,
+        help="supervised-execution failure policy (bench/sweep only): "
+        "'raise' aborts on the first quarantined task, 'degrade' drops the "
+        "affected benchmarks and reports them in the failure manifest; "
+        "giving either engages the supervised worker pool",
+    )
+    parser.add_argument(
+        "--task-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock deadline under supervised execution: an "
+        "overdue worker is killed and its task retried (bench/sweep only)",
+    )
+    parser.add_argument(
+        "--task-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry budget per task before quarantine under supervised "
+        "execution (bench/sweep only; default 2)",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable failure manifest (retry count, "
+        "quarantined tasks) to PATH after a bench/sweep run",
+    )
+    parser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="resume an interrupted sharded bench/sweep run from its "
+        "persisted chain checkpoints (--no-resume replays every chain "
+        "from the start)",
+    )
     return parser
 
 
@@ -313,6 +359,36 @@ def _resolve_benchmarks(args: argparse.Namespace) -> Sequence[str]:
     if args.full:
         return DEFAULT_BENCHMARKS
     return QUICK_BENCHMARKS
+
+
+def _supervision_policy(args: argparse.Namespace) -> Optional[SupervisionPolicy]:
+    """Build an explicit :class:`SupervisionPolicy` from the CLI flags.
+
+    Returns ``None`` when no supervision flag was given -- the execution
+    layer still self-arms when a fault plan is active in the environment.
+    """
+    overrides: Dict[str, object] = {}
+    if args.task_deadline is not None:
+        overrides["deadline"] = args.task_deadline
+    if args.task_retries is not None:
+        overrides["retries"] = args.task_retries
+    if args.on_failure is not None:
+        overrides["on_failure"] = args.on_failure
+    if not overrides:
+        return None
+    return SupervisionPolicy(**overrides)
+
+
+def _supervision_footer(
+    manifest: FailureManifest, policy: Optional[SupervisionPolicy]
+) -> str:
+    """One summary line when supervision did (or could have done) anything."""
+    if policy is None and not manifest and FaultPlan.active() is None:
+        return ""
+    return (
+        f"supervision: {manifest.retries} retries, "
+        f"{manifest.quarantined} quarantined\n"
+    )
 
 
 def _resolve_modes(args: argparse.Namespace) -> Tuple[str, ...]:
@@ -400,22 +476,33 @@ def run_bench(args: argparse.Namespace) -> str:
 
     benchmarks = _resolve_benchmarks(args)
     modes = _resolve_modes(args)
+    policy = _supervision_policy(args)
+    manifest = FailureManifest()
     replaycore.reset_precompute_seconds()
     started = time.perf_counter()
-    suite = run_benchmarks(
-        benchmarks,
-        modes=modes,
-        scale=args.scale,
-        num_accesses=args.accesses,
-        seed=args.seed,
-        use_cache=not args.no_cache,
-        jobs=args.jobs,
-        shard_size=args.shard_size,
-        shard_warmup=args.shard_warmup,
-        distill=not args.no_distill,
-        vector=not args.no_vector,
-        stream=args.stream,
-    )
+    try:
+        suite = run_benchmarks(
+            benchmarks,
+            modes=modes,
+            scale=args.scale,
+            num_accesses=args.accesses,
+            seed=args.seed,
+            use_cache=not args.no_cache,
+            jobs=args.jobs,
+            shard_size=args.shard_size,
+            shard_warmup=args.shard_warmup,
+            distill=not args.no_distill,
+            vector=not args.no_vector,
+            stream=args.stream,
+            policy=policy,
+            manifest=manifest,
+            resume=args.resume,
+        )
+    finally:
+        # Written even when a quarantined task aborts the run (on-failure
+        # raise): the manifest is how the caller learns what was retried.
+        if args.manifest:
+            manifest.save(args.manifest)
     elapsed = time.perf_counter() - started
 
     rows: List[Dict[str, object]] = []
@@ -455,6 +542,7 @@ def run_bench(args: argparse.Namespace) -> str:
         f"vector={'off' if args.no_vector else 'on'}"
         f"{sharding}{precompute_note})\n"
     )
+    footer += _supervision_footer(manifest, policy)
     return table + footer
 
 
@@ -472,22 +560,31 @@ def run_sweep_command(args: argparse.Namespace) -> str:
     axes = [parse_axis(spec) for spec in args.param]
     benchmarks = _resolve_benchmarks(args)
     modes = _resolve_modes(args)
+    policy = _supervision_policy(args)
+    manifest = FailureManifest()
 
     started = time.perf_counter()
-    result = run_sweep(
-        axes,
-        benchmarks=benchmarks,
-        modes=modes,
-        scale=args.scale,
-        num_accesses=args.accesses,
-        seed=args.seed,
-        jobs=args.jobs,
-        use_cache=not args.no_cache,
-        shard_size=args.shard_size,
-        distill=not args.no_distill,
-        vector=not args.no_vector,
-        stream=args.stream,
-    )
+    try:
+        result = run_sweep(
+            axes,
+            benchmarks=benchmarks,
+            modes=modes,
+            scale=args.scale,
+            num_accesses=args.accesses,
+            seed=args.seed,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            shard_size=args.shard_size,
+            distill=not args.no_distill,
+            vector=not args.no_vector,
+            stream=args.stream,
+            policy=policy,
+            manifest=manifest,
+            resume=args.resume,
+        )
+    finally:
+        if args.manifest:
+            manifest.save(args.manifest)
     elapsed = time.perf_counter() - started
 
     protected = [m for m in result.modes if m != BASELINE_MODE]
@@ -535,6 +632,7 @@ def run_sweep_command(args: argparse.Namespace) -> str:
         f"store index: {len(indexed)} suite entries"
         f" ({sum(e.size for e in indexed):,} bytes) in {store.root}\n"
     )
+    footer += _supervision_footer(manifest, policy)
     return table + footer
 
 
@@ -589,6 +687,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.stream is not None and args.experiment not in ("bench", "sweep"):
         parser.error("--stream only applies to bench and sweep")
+    if args.task_deadline is not None and args.task_deadline <= 0:
+        parser.error(f"--task-deadline must be positive, got {args.task_deadline}")
+    if args.task_retries is not None and args.task_retries < 0:
+        parser.error(f"--task-retries must be non-negative, got {args.task_retries}")
+    supervision_flags = (
+        args.on_failure is not None
+        or args.task_deadline is not None
+        or args.task_retries is not None
+        or args.manifest is not None
+    )
+    if supervision_flags and args.experiment not in ("bench", "sweep"):
+        parser.error(
+            "--on-failure/--task-deadline/--task-retries/--manifest only "
+            "apply to bench and sweep"
+        )
+    if not args.resume and args.experiment not in ("bench", "sweep"):
+        parser.error("--no-resume only applies to bench and sweep")
     if args.quick and args.full:
         parser.error("--quick and --full are mutually exclusive")
     if args.from_store and args.experiment != "reproduce-all":
@@ -624,6 +739,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except (UnknownBenchmarkError, UnknownModeError, SweepAxisError) as error:
             print(f"error: {error.args[0]}", file=sys.stderr)
             return 2
+        except TaskFailedError as error:
+            # on-failure=raise: a task exhausted its retries.  The manifest
+            # (if requested) was already written by the runner's finally.
+            print(f"error: {error}", file=sys.stderr)
+            return 3
         return 0
 
     benchmarks = _resolve_benchmarks(args)

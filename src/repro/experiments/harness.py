@@ -31,7 +31,8 @@ from repro.core.toleo import ToleoDevice
 from repro.core.trip import TripFormat
 from repro.sim.configs import EVALUATED_MODES, ModeLike
 from repro.sim.engine import EngineOptions, run_suite
-from repro.sim.parallel import parallel_map, run_suite_parallel
+from repro.sim.faults import FailureManifest, SupervisionPolicy
+from repro.sim.parallel import parallel_map, resolve_supervision, run_suite_parallel
 from repro.sim.shard import ShardSpec, run_suite_sharded
 from repro.sim.results import (
     SuiteResults,
@@ -102,6 +103,10 @@ def run_benchmarks(
     distill: bool = True,
     vector: bool = True,
     stream: Optional[int] = None,
+    policy: Optional[SupervisionPolicy] = None,
+    manifest: Optional[FailureManifest] = None,
+    on_failure: Optional[str] = None,
+    resume: bool = True,
 ) -> SuiteResults:
     """Run (or fetch from the persistent store) the benchmark suite.
 
@@ -167,6 +172,10 @@ def run_benchmarks(
         # shard width the whole run is one full-length shard.
         spec = ShardSpec(shard_size=num_accesses)
 
+    policy = resolve_supervision(policy, on_failure)
+    if policy is not None and manifest is None:
+        manifest = FailureManifest()
+
     key = suite_key(
         names,
         modes,
@@ -196,8 +205,11 @@ def run_benchmarks(
             distill=distill,
             vector=vector,
             stream=stream,
+            policy=policy,
+            manifest=manifest,
+            resume=resume,
         )
-    elif jobs != 1:
+    elif jobs != 1 or policy is not None:
         results = run_suite_parallel(
             names,
             modes=modes,
@@ -209,6 +221,8 @@ def run_benchmarks(
             jobs=jobs,
             distill=distill,
             vector=vector,
+            policy=policy,
+            manifest=manifest,
         )
     else:
         results = run_suite(
@@ -222,7 +236,10 @@ def run_benchmarks(
             distill=distill,
             vector=vector,
         )
-    if use_cache:
+    degraded = manifest is not None and bool(manifest.quarantined)
+    if use_cache and not degraded:
+        # A degraded suite is missing quarantined cells; caching it under the
+        # full suite key would poison every later clean run.
         store.put(key, results, encoder=_encode_suite)
     return results
 

@@ -21,13 +21,38 @@ The task/merge helpers (:func:`suite_tasks`, :func:`merge_suite_results`) are
 exposed separately so bulk runners -- the sweep subsystem in particular --
 can flatten *many* suites into one task list for a single pool, instead of
 paying pool startup per grid point.
+
+**Supervised execution.**  Passing a
+:class:`~repro.sim.faults.SupervisionPolicy` (or activating a
+:class:`~repro.sim.faults.FaultPlan` through ``REPRO_FAULT_PLAN``) routes
+``parallel_map``/``pipelined_map`` through :class:`SupervisedExecutor`
+instead of the plain pool: a fixed set of worker processes fed over
+per-worker pipes, with per-attempt deadlines enforced by a watchdog thread,
+detection of a worker dying *mid-task* (a plain ``apply_async`` whose worker
+segfaults simply never completes), checksummed result envelopes (a corrupted
+payload is detected and retried, never silently unpickled into a wrong
+answer), bounded retry with deterministic exponential backoff, and a
+quarantine path: a task that exhausts its retries either aborts the run
+(``on_failure="raise"``) or is recorded in a
+:class:`~repro.sim.faults.FailureManifest` and replaced by a
+:class:`~repro.sim.faults.TaskFailure` sentinel so every *other* task and
+chain still completes (``"degrade"``).  Supervision is an execution
+strategy, not a model change: a supervised run's surviving results are
+bit-identical to an unsupervised run's, and nothing about the policy or
+plan ever enters a persistent-store key.
 """
 
 from __future__ import annotations
 
+import hashlib
+import heapq
 import multiprocessing
+import multiprocessing.connection
 import os
+import pickle
 import threading
+import time
+from collections import deque
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
@@ -40,8 +65,17 @@ from repro.sim.configs import (
     mode_parameters,
 )
 from repro.sim.engine import EngineOptions, SimulationEngine, ordered_modes
+from repro.sim.faults import (
+    FailureManifest,
+    FaultInjectionError,
+    FaultPlan,
+    SupervisionPolicy,
+    TaskFailedError,
+    TaskFailure,
+    TaskFailureRecord,
+)
 from repro.sim.results import SimulationResult, SuiteResults
-from repro.sim.store import export_code_fingerprint
+from repro.sim.store import close_default_connections, export_code_fingerprint
 
 #: One unit of work: everything a worker needs to run one simulation.  The
 #: mode's *resolved* ModeParameters travel with the task (not just the enum)
@@ -82,30 +116,520 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("spawn")
 
 
-def parallel_map(func: Callable, tasks: Sequence, jobs: Optional[int] = None) -> List:
+def _task_label(task: Any) -> str:
+    """A human-readable name for a task in manifests and error messages."""
+    try:
+        name, params = task[0], task[1]
+        if isinstance(name, str) and isinstance(params, ModeParameters):
+            return f"{name}/{params.label}"
+    except (TypeError, IndexError, KeyError):
+        pass
+    return type(task).__name__
+
+
+def _effective_policy(
+    policy: Optional[SupervisionPolicy],
+) -> Optional[SupervisionPolicy]:
+    """The policy to run under: explicit, implied by an active plan, or none.
+
+    An activated :class:`FaultPlan` (``REPRO_FAULT_PLAN``) implies default
+    supervision even when the caller passed no policy -- the chaos CI job
+    sets the environment variable and every execution path self-arms,
+    with no argument threading through harness/sweep/CLI required.
+    """
+    if policy is not None:
+        return policy
+    if FaultPlan.active() is not None:
+        return SupervisionPolicy()
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Supervised execution
+# ---------------------------------------------------------------------------
+
+
+def _supervised_worker_main(conn: multiprocessing.connection.Connection) -> None:
+    """Worker loop of the supervised executor: one process, many tasks.
+
+    Messages are ``(task_index, attempt, func, args)``; ``None`` (or a
+    closed pipe) shuts the worker down.  The reply is a checksummed
+    envelope: the sha256 of the pickled result is computed *before* the
+    fault-injection layer gets a chance to damage the payload, so an
+    injected (or real) corruption is always detectable in the parent --
+    the digest is the ground truth the corruption cannot touch.
+    """
+    from repro.sim.faults import corrupt_payload
+
+    plan = FaultPlan.active()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        index, attempt, func, args = message
+        fault = plan.lookup(index, attempt) if plan is not None else None
+        if fault is not None and fault.kind == "crash":
+            # Hard death, not an exception: models a segfaulted/OOM-killed
+            # worker, which only the parent's pipe/sentinel watch can see.
+            os._exit(70)
+        if fault is not None and fault.kind == "hang":
+            time.sleep(fault.seconds)
+        try:
+            if fault is not None and fault.kind == "error":
+                raise FaultInjectionError(
+                    f"injected error at task {index} attempt {attempt}"
+                )
+            payload = pickle.dumps(func(*args), protocol=pickle.HIGHEST_PROTOCOL)
+        except BaseException as exc:  # noqa: BLE001 -- report, parent decides
+            try:
+                conn.send(("error", index, attempt, f"{type(exc).__name__}: {exc}"))
+            except (OSError, ValueError):
+                return
+            continue
+        digest = hashlib.sha256(payload).hexdigest()
+        if fault is not None and fault.kind == "corrupt":
+            payload = corrupt_payload(payload)
+        try:
+            conn.send(("ok", index, attempt, digest, payload))
+        except (OSError, ValueError):
+            return
+
+
+class _Job:
+    """One supervised task: its routing key, body, and attempt history."""
+
+    __slots__ = ("key", "func", "args", "label", "index", "attempts")
+
+    def __init__(
+        self, key: Any, func: Callable, args: tuple, label: str, index: int
+    ) -> None:
+        self.key = key
+        self.func = func
+        self.args = args
+        self.label = label
+        self.index = index
+        self.attempts = 0
+
+
+class _SupervisedWorker:
+    """One worker process plus its duplex pipe and watchdog bookkeeping."""
+
+    __slots__ = ("process", "conn", "job", "deadline_at", "timed_out")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.job: Optional[_Job] = None
+        self.deadline_at: Optional[float] = None
+        self.timed_out = False
+
+
+class SupervisedExecutor:
+    """A fault-tolerant task executor over dedicated worker processes.
+
+    Unlike ``multiprocessing.Pool``, every worker has its *own* duplex pipe
+    and an explicit current-task assignment, which is what makes the three
+    failure modes attributable:
+
+    * **worker death** -- the worker's pipe EOFs / its sentinel fires, and
+      the parent knows exactly which task died with it (a pool's
+      ``apply_async`` in the same situation simply never completes);
+    * **hang** -- a watchdog thread kills any worker past its per-attempt
+      deadline; the main loop then observes the death with ``timed_out``
+      set and attributes it to the deadline, not a crash;
+    * **corrupt result** -- envelopes carry a pre-corruption sha256, so a
+      damaged payload fails verification and is retried instead of being
+      unpickled into garbage (or an exception) in the parent.
+
+    Failed attempts retry on the deterministic backoff schedule of the
+    :class:`SupervisionPolicy`; a task that exhausts its retries is
+    quarantined -- recorded in the :class:`FailureManifest` and either
+    raised (:class:`TaskFailedError`) or delivered as a
+    :class:`TaskFailure` sentinel, per ``policy.on_failure``.
+
+    Task submission order assigns each task its fault-plan index (retries
+    keep the index of their task), so a :class:`FaultPlan` targets stable
+    slots for any deterministic submission sequence.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        policy: SupervisionPolicy,
+        manifest: Optional[FailureManifest] = None,
+    ) -> None:
+        self.policy = policy
+        self.manifest = manifest if manifest is not None else FailureManifest()
+        self._ctx = _pool_context()
+        self._ready: deque = deque()
+        self._waiting: List[Tuple[float, int, _Job]] = []
+        self._seq = 0
+        self._submitted = 0
+        self._outstanding = 0
+        # Guards worker assignments shared with the watchdog thread.
+        self._state_lock = threading.Lock()
+        export_code_fingerprint()
+        self._workers = [self._spawn_worker() for _ in range(max(1, jobs))]
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def _spawn_worker(self) -> _SupervisedWorker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_supervised_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _SupervisedWorker(process, parent_conn)
+
+    def _replace_worker(self, worker: _SupervisedWorker) -> None:
+        with self._state_lock:
+            slot = self._workers.index(worker)
+            self._workers[slot] = self._spawn_worker()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.kill()
+        worker.process.join()
+
+    def _shutdown(self) -> None:
+        with self._state_lock:
+            workers, self._workers = self._workers, []
+        for worker in workers:
+            if worker.job is not None:
+                # Still executing (we are aborting): no point waiting.
+                worker.process.kill()
+            else:
+                try:
+                    worker.conn.send(None)
+                except (OSError, ValueError):
+                    pass
+        for worker in workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    # -- the supervision loop ------------------------------------------------
+
+    def submit(self, key: Any, func: Callable, args: tuple, label: str = "") -> None:
+        """Queue a task; its fault-plan index is its submission rank."""
+        self._ready.append(_Job(key, func, args, label, self._submitted))
+        self._submitted += 1
+        self._outstanding += 1
+
+    def run(self, deliver: Callable[[Any, Any], None]) -> None:
+        """Execute until every submitted task is delivered or quarantined.
+
+        ``deliver(key, value)`` runs on the calling thread and may call
+        :meth:`submit` to extend the run (the pipelined driver submits each
+        chain's next step from its predecessor's delivery).  ``value`` is a
+        :class:`TaskFailure` for degrade-mode quarantined tasks.
+        """
+        stop = threading.Event()
+        watchdog = None
+        if self.policy.deadline is not None:
+            watchdog = threading.Thread(
+                target=self._watchdog_loop, args=(stop,), daemon=True
+            )
+            watchdog.start()
+        try:
+            while self._outstanding > 0:
+                self._promote_due()
+                self._assign()
+                self._collect(deliver)
+        finally:
+            stop.set()
+            if watchdog is not None:
+                watchdog.join()
+            self._shutdown()
+
+    def _watchdog_loop(self, stop: threading.Event) -> None:
+        """Kill any worker whose current attempt outlived its deadline.
+
+        The kill is the whole intervention: the main loop observes the death
+        through the worker's sentinel/pipe and, seeing ``timed_out``,
+        attributes the failure to the deadline and retries the task on the
+        normal schedule.
+        """
+        interval = min(0.05, (self.policy.deadline or 1.0) / 4)
+        while not stop.wait(interval):
+            now = time.monotonic()
+            with self._state_lock:
+                for worker in self._workers:
+                    if (
+                        worker.job is not None
+                        and worker.deadline_at is not None
+                        and now > worker.deadline_at
+                        and not worker.timed_out
+                    ):
+                        worker.timed_out = True
+                        worker.process.kill()
+
+    def _promote_due(self) -> None:
+        now = time.monotonic()
+        while self._waiting and self._waiting[0][0] <= now:
+            _, _, job = heapq.heappop(self._waiting)
+            self._ready.append(job)
+
+    def _assign(self) -> None:
+        for worker in list(self._workers):
+            if not self._ready:
+                return
+            if worker.job is not None:
+                continue
+            job = self._ready.popleft()
+            try:
+                worker.conn.send((job.index, job.attempts + 1, job.func, job.args))
+            except (OSError, ValueError):
+                # The worker died while idle; the task never started, so it
+                # keeps its attempt count and goes straight back to ready.
+                self._ready.appendleft(job)
+                self._replace_worker(worker)
+                continue
+            with self._state_lock:
+                worker.job = job
+                worker.timed_out = False
+                if self.policy.deadline is not None:
+                    worker.deadline_at = time.monotonic() + self.policy.deadline
+
+    def _collect(self, deliver: Callable[[Any, Any], None]) -> None:
+        busy = [worker for worker in self._workers if worker.job is not None]
+        if not busy:
+            if not self._ready and self._waiting:
+                # Nothing running, nothing assignable: sleep out the backoff.
+                time.sleep(max(0.0, self._waiting[0][0] - time.monotonic()))
+            return
+        timeout = None
+        if self._waiting:
+            timeout = max(0.0, self._waiting[0][0] - time.monotonic())
+        handles: List[Any] = []
+        owners = {}
+        for worker in busy:
+            for handle in (worker.conn, worker.process.sentinel):
+                handles.append(handle)
+                owners[handle] = worker
+        ready = multiprocessing.connection.wait(handles, timeout)
+        seen = set()
+        for handle in ready:
+            worker = owners[handle]
+            if id(worker) in seen:
+                continue
+            seen.add(id(worker))
+            self._handle_worker_event(worker, deliver)
+
+    def _handle_worker_event(
+        self, worker: _SupervisedWorker, deliver: Callable[[Any, Any], None]
+    ) -> None:
+        job = worker.job
+        if job is None:
+            return
+        message = None
+        if worker.conn.poll():
+            try:
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                message = None
+        elif worker.process.is_alive():
+            return
+        if message is None:
+            # Death mid-task: pipe EOF (crash) or watchdog kill (deadline).
+            reason = "deadline-exceeded" if worker.timed_out else "worker-died"
+            detail = f"worker pid {worker.process.pid} exited mid-task"
+            if worker.timed_out:
+                detail = (
+                    f"attempt exceeded the {self.policy.deadline}s deadline; "
+                    f"worker pid {worker.process.pid} killed by the watchdog"
+                )
+            self._replace_worker(worker)
+            self._task_failed(job, reason, detail, deliver)
+            return
+        with self._state_lock:
+            worker.job = None
+            worker.deadline_at = None
+        if message[0] == "error":
+            self._task_failed(job, "exception", message[3], deliver)
+            return
+        _, _, _, digest, payload = message
+        if hashlib.sha256(payload).hexdigest() != digest:
+            self._task_failed(
+                job, "corrupt-result", "result payload failed its checksum", deliver
+            )
+            return
+        try:
+            value = pickle.loads(payload)
+        except Exception as exc:
+            self._task_failed(
+                job, "corrupt-result", f"{type(exc).__name__}: {exc}", deliver
+            )
+            return
+        self._outstanding -= 1
+        deliver(job.key, value)
+
+    def _task_failed(
+        self,
+        job: _Job,
+        reason: str,
+        error: str,
+        deliver: Callable[[Any, Any], None],
+    ) -> None:
+        job.attempts += 1
+        if job.attempts <= self.policy.retries:
+            self.manifest.note_retry()
+            delay = self.policy.backoff_delay(job.attempts)
+            self._seq += 1
+            heapq.heappush(
+                self._waiting, (time.monotonic() + delay, self._seq, job)
+            )
+            return
+        record = TaskFailureRecord(
+            index=job.index,
+            label=job.label,
+            attempts=job.attempts,
+            reason=reason,
+            error=str(error),
+        )
+        self.manifest.add(record)
+        if self.policy.on_failure == "raise":
+            raise TaskFailedError(record)
+        self._outstanding -= 1
+        deliver(job.key, TaskFailure(record))
+
+
+def _call_supervised_inline(
+    call: Callable[[], Any],
+    policy: SupervisionPolicy,
+    manifest: FailureManifest,
+    index: int,
+    label: str,
+) -> Any:
+    """In-process supervision for the serial fallback paths.
+
+    Applies the same retry/backoff/quarantine discipline as the executor.
+    Process-level faults (``crash``/``hang``/``corrupt``) need a worker
+    process to injure and are not injected inline -- an inline ``crash``
+    would kill the caller, which is the run itself; only ``error`` faults
+    fire.  The watchdog likewise cannot preempt the calling thread, so
+    deadlines are not enforced inline.
+    """
+    attempts = 0
+    plan = FaultPlan.active()
+    while True:
+        try:
+            fault = plan.lookup(index, attempts + 1) if plan is not None else None
+            if fault is not None and fault.kind == "error":
+                raise FaultInjectionError(
+                    f"injected error at task {index} attempt {attempts + 1}"
+                )
+            return call()
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            attempts += 1
+            if attempts <= policy.retries:
+                manifest.note_retry()
+                time.sleep(policy.backoff_delay(attempts))
+                continue
+            record = TaskFailureRecord(
+                index=index,
+                label=label,
+                attempts=attempts,
+                reason="exception",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            manifest.add(record)
+            if policy.on_failure == "raise":
+                raise TaskFailedError(record) from exc
+            return TaskFailure(record)
+
+
+# ---------------------------------------------------------------------------
+# The two mapping primitives
+# ---------------------------------------------------------------------------
+
+
+def parallel_map(
+    func: Callable,
+    tasks: Sequence,
+    jobs: Optional[int] = None,
+    policy: Optional[SupervisionPolicy] = None,
+    manifest: Optional[FailureManifest] = None,
+) -> List:
     """Map ``func`` over ``tasks`` with up to ``jobs`` worker processes.
 
     Falls back to an in-process loop for a single job or a single task, so
     callers get one code path whose serial case adds zero overhead.  Results
     are returned in task order (``Pool.map`` preserves ordering), which is
     what keeps the parallel suite merge deterministic.
+
+    With a :class:`SupervisionPolicy` (or an active ``REPRO_FAULT_PLAN``),
+    execution routes through :class:`SupervisedExecutor`: deadlines,
+    worker-death detection, retry with deterministic backoff, and -- under
+    ``on_failure="degrade"`` -- :class:`TaskFailure` sentinels in the slots
+    of quarantined tasks instead of an aborted run.
     """
     jobs = min(resolve_jobs(jobs), len(tasks))
+    policy = _effective_policy(policy)
+    if policy is not None and manifest is None:
+        manifest = FailureManifest()
     if jobs <= 1 or len(tasks) <= 1:
-        return [func(task) for task in tasks]
-    # Hash the package source once here rather than once per spawn worker:
-    # the exported value rides the environment into every worker's
-    # code_fingerprint(), whose first store access would otherwise re-read
-    # the whole source tree.
-    export_code_fingerprint()
-    with _pool_context().Pool(processes=jobs) as pool:
-        return pool.map(func, tasks, chunksize=1)
+        if policy is None:
+            return [func(task) for task in tasks]
+        return [
+            _call_supervised_inline(
+                lambda t=task: func(t), policy, manifest, index, _task_label(task)
+            )
+            for index, task in enumerate(tasks)
+        ]
+    if policy is None:
+        # Hash the package source once here rather than once per spawn
+        # worker: the exported value rides the environment into every
+        # worker's code_fingerprint(), whose first store access would
+        # otherwise re-read the whole source tree.
+        export_code_fingerprint()
+        pool = _pool_context().Pool(processes=jobs)
+        try:
+            with pool:
+                return pool.map(func, tasks, chunksize=1)
+        except KeyboardInterrupt:
+            # ^C during a map used to strand spawn workers mid-task and
+            # leave this process's sqlite handle pinning the store WAL.
+            pool.terminate()
+            pool.join()
+            close_default_connections()
+            raise
+    executor = SupervisedExecutor(jobs, policy, manifest)
+    results: List[Any] = [None] * len(tasks)
+    for index, task in enumerate(tasks):
+        executor.submit(index, func, (task,), label=_task_label(task))
+
+    def deliver(key: Any, value: Any) -> None:
+        results[key] = value
+
+    try:
+        executor.run(deliver)
+    except KeyboardInterrupt:
+        close_default_connections()
+        raise
+    return results
 
 
 def pipelined_map(
     func: Callable[[Any, Any], Any],
     chains: Sequence[Sequence[Any]],
     jobs: Optional[int] = None,
+    policy: Optional[SupervisionPolicy] = None,
+    manifest: Optional[FailureManifest] = None,
+    initials: Optional[Sequence[Any]] = None,
+    on_carry: Optional[Callable[[int, int, Any], None]] = None,
 ) -> List[Any]:
     """Run several sequential task chains concurrently over one worker pool.
 
@@ -122,18 +646,62 @@ def pipelined_map(
     finished chain hostage to a slower one.  Returns the final carry of each
     chain, in chain order; the serial fallback (one job or one chain's worth
     of work) keeps a single in-process code path.
+
+    ``initials`` seeds each chain's first ``carry`` (resume support: a chain
+    trimmed to its unfinished suffix starts from a restored checkpoint
+    instead of ``None``).  ``on_carry(chain_index, step_index, carry)`` fires
+    in the *parent* after every completed step -- intermediate carries are
+    checkpoints, the last carry is the chain's final result -- which is how
+    :mod:`repro.sim.shard` persists in-flight checkpoints without widening
+    its task tuples.  Under a :class:`SupervisionPolicy` (or an active
+    ``REPRO_FAULT_PLAN``) steps run supervised; a chain whose step is
+    quarantined in degrade mode yields a :class:`TaskFailure` in its final
+    slot while every other chain runs to completion.
     """
     chains = [list(chain) for chain in chains]
+    starts: List[Any] = (
+        list(initials) if initials is not None else [None] * len(chains)
+    )
+    if len(starts) != len(chains):
+        raise ValueError(
+            f"initials has {len(starts)} entries for {len(chains)} chains"
+        )
     total = sum(len(chain) for chain in chains)
     jobs = min(resolve_jobs(jobs), max(1, len(chains)))
+    policy = _effective_policy(policy)
+    if policy is not None and manifest is None:
+        manifest = FailureManifest()
+
     if jobs <= 1 or total <= 1:
         finals: List[Any] = []
-        for chain in chains:
-            carry: Any = None
-            for task in chain:
-                carry = func(task, carry)
-            finals.append(carry)
+        index = 0
+        for chain_index, chain in enumerate(chains):
+            carry: Any = starts[chain_index]
+            outcome: Any = None
+            for step_index, task in enumerate(chain):
+                if policy is None:
+                    carry = func(task, carry)
+                else:
+                    carry = _call_supervised_inline(
+                        lambda t=task, c=carry: func(t, c),
+                        policy,
+                        manifest,
+                        index,
+                        _task_label(task),
+                    )
+                index += 1
+                outcome = carry
+                if isinstance(carry, TaskFailure):
+                    break
+                if on_carry is not None:
+                    on_carry(chain_index, step_index, carry)
+            finals.append(outcome)
         return finals
+
+    if policy is not None:
+        return _pipelined_supervised(
+            func, chains, starts, jobs, policy, manifest, on_carry
+        )
 
     finals = [None] * len(chains)
     errors: List[BaseException] = []
@@ -142,62 +710,130 @@ def pipelined_map(
     remaining = sum(1 for chain in chains if chain)
 
     export_code_fingerprint()
-    with _pool_context().Pool(processes=jobs) as pool:
+    pool = _pool_context().Pool(processes=jobs)
+    try:
+        with pool:
 
-        def submit(chain_index: int, step_index: int, carry: Any) -> None:
-            pool.apply_async(
-                func,
-                (chains[chain_index][step_index], carry),
-                callback=lambda result: advance(chain_index, step_index, result),
-                error_callback=fail,
-            )
+            def submit(chain_index: int, step_index: int, carry: Any) -> None:
+                pool.apply_async(
+                    func,
+                    (chains[chain_index][step_index], carry),
+                    callback=lambda result: advance(chain_index, step_index, result),
+                    error_callback=fail,
+                )
 
-        def advance(chain_index: int, step_index: int, result: Any) -> None:
-            # Runs on the pool's result-handler thread; submitting the next
-            # step from here is what keeps the pipeline barrier-free.  An
-            # exception escaping this callback would kill that thread with
-            # ``done`` never set and the caller blocked forever, so anything
-            # raised here (e.g. ``submit`` on a pool that started closing)
-            # must land in ``errors`` and release the waiter.  The except
-            # body runs after ``with lock`` has released, so re-taking the
-            # (non-reentrant) lock there cannot self-deadlock.
-            nonlocal remaining
+            def advance(chain_index: int, step_index: int, result: Any) -> None:
+                # Runs on the pool's result-handler thread; submitting the next
+                # step from here is what keeps the pipeline barrier-free.  An
+                # exception escaping this callback would kill that thread with
+                # ``done`` never set and the caller blocked forever, so anything
+                # raised here (e.g. ``submit`` on a pool that started closing,
+                # or a store write inside ``on_carry``) must land in ``errors``
+                # and release the waiter.  The except body runs after ``with
+                # lock`` has released, so re-taking the (non-reentrant) lock
+                # there cannot self-deadlock.
+                nonlocal remaining
+                try:
+                    with lock:
+                        if errors:
+                            return
+                        if on_carry is not None:
+                            on_carry(chain_index, step_index, result)
+                        if step_index + 1 < len(chains[chain_index]):
+                            submit(chain_index, step_index + 1, result)
+                            return
+                        finals[chain_index] = result
+                        remaining -= 1
+                        if remaining == 0:
+                            done.set()
+                except BaseException as exc:
+                    with lock:
+                        errors.append(exc)
+                    done.set()
+
+            def fail(error: BaseException) -> None:
+                with lock:
+                    errors.append(error)
+                done.set()
+
             try:
                 with lock:
-                    if errors:
-                        return
-                    if step_index + 1 < len(chains[chain_index]):
-                        submit(chain_index, step_index + 1, result)
-                        return
-                    finals[chain_index] = result
-                    remaining -= 1
                     if remaining == 0:
                         done.set()
+                    for chain_index, chain in enumerate(chains):
+                        if chain:
+                            submit(chain_index, 0, starts[chain_index])
             except BaseException as exc:
                 with lock:
                     errors.append(exc)
                 done.set()
-
-        def fail(error: BaseException) -> None:
-            with lock:
-                errors.append(error)
-            done.set()
-
-        try:
-            with lock:
-                if remaining == 0:
-                    done.set()
-                for chain_index, chain in enumerate(chains):
-                    if chain:
-                        submit(chain_index, 0, None)
-        except BaseException as exc:
-            with lock:
-                errors.append(exc)
-            done.set()
-        done.wait()
-        if errors:
-            raise errors[0]
+            done.wait()
+            if errors:
+                raise errors[0]
+    except KeyboardInterrupt:
+        # Same cleanup contract as parallel_map: no orphaned workers, no
+        # sqlite handle left pinning the store WAL.
+        pool.terminate()
+        pool.join()
+        close_default_connections()
+        raise
     return finals
+
+
+def _pipelined_supervised(
+    func: Callable[[Any, Any], Any],
+    chains: List[List[Any]],
+    starts: List[Any],
+    jobs: int,
+    policy: SupervisionPolicy,
+    manifest: Optional[FailureManifest],
+    on_carry: Optional[Callable[[int, int, Any], None]],
+) -> List[Any]:
+    """Pipelined chains over the supervised executor.
+
+    The parent schedules chain steps itself (delivery of step k submits step
+    k+1), so worker death, retries and quarantine all happen *per step* --
+    a quarantined step abandons only its own chain, and every other chain's
+    steps keep flowing through the surviving workers.
+    """
+    executor = SupervisedExecutor(jobs, policy, manifest)
+    finals: List[Any] = [None] * len(chains)
+
+    def submit_step(chain_index: int, step_index: int, carry: Any) -> None:
+        task = chains[chain_index][step_index]
+        executor.submit(
+            (chain_index, step_index),
+            func,
+            (task, carry),
+            label=_task_label(task),
+        )
+
+    def deliver(key: Any, value: Any) -> None:
+        chain_index, step_index = key
+        if isinstance(value, TaskFailure):
+            finals[chain_index] = value
+            return
+        if on_carry is not None:
+            on_carry(chain_index, step_index, value)
+        if step_index + 1 < len(chains[chain_index]):
+            submit_step(chain_index, step_index + 1, value)
+        else:
+            finals[chain_index] = value
+
+    for chain_index, chain in enumerate(chains):
+        if chain:
+            submit_step(chain_index, 0, starts[chain_index])
+    try:
+        executor.run(deliver)
+    except KeyboardInterrupt:
+        close_default_connections()
+        raise
+    return finals
+
+
+# ---------------------------------------------------------------------------
+# Suite-level fan-out
+# ---------------------------------------------------------------------------
 
 
 def _run_suite_task(task: SuiteTask) -> SimulationResult:
@@ -265,7 +901,7 @@ def suite_tasks(
 
 def merge_suite_results(
     tasks: Sequence[SuiteTask],
-    results: Sequence[SimulationResult],
+    results: Sequence[Any],
     requested_modes: Sequence[ModeLike],
 ) -> SuiteResults:
     """Reassemble task-ordered results into the serial driver's suite shape.
@@ -273,14 +909,26 @@ def merge_suite_results(
     Stitches the per-benchmark NoProtect baseline into every result, then
     returns only the requested modes -- exactly as the serial
     :func:`repro.sim.engine.compare_modes` does.
+
+    Degrade-mode :class:`TaskFailure` sentinels contribute nothing: the
+    quarantined (benchmark, mode) cell is simply absent from the merged
+    suite, and a benchmark whose *baseline* was quarantined is dropped
+    entirely -- without the NoProtect time every slowdown in the row would
+    be unnormalisable.  Callers distinguish "degraded" from "complete"
+    through the run's :class:`~repro.sim.faults.FailureManifest`, never by
+    probing the suite shape.
     """
     complete: SuiteResults = {}
     for (name, params, *_), result in zip(tasks, results):
+        if result is None or isinstance(result, TaskFailure):
+            continue
         complete.setdefault(name, {})[params.label] = result
 
     requested = {mode_label(mode) for mode in requested_modes}
     suite: SuiteResults = {}
     for name, per_mode in complete.items():
+        if BASELINE_MODE not in per_mode:
+            continue
         baseline = per_mode[BASELINE_MODE].execution_time_ns
         for result in per_mode.values():
             result.baseline_time_ns = baseline
@@ -301,6 +949,9 @@ def run_suite_parallel(
     jobs: Optional[int] = None,
     distill: bool = True,
     vector: bool = True,
+    policy: Optional[SupervisionPolicy] = None,
+    manifest: Optional[FailureManifest] = None,
+    on_failure: Optional[str] = None,
 ) -> SuiteResults:
     """Run the benchmark suite with (benchmark, mode) pairs fanned out.
 
@@ -312,7 +963,15 @@ def run_suite_parallel(
     the default) batches that replay through the numpy kernels for the modes
     that support it.  Pass ``False`` to force the slower paths -- the
     results are identical on all of them.
+
+    ``on_failure`` ("raise" or "degrade") requests supervised execution and
+    overrides the policy's quarantine behaviour; ``policy``/``manifest``
+    pass a full :class:`SupervisionPolicy` and collect the run's
+    :class:`FailureManifest`.  A degraded suite omits quarantined cells (and
+    any benchmark whose baseline was quarantined) -- see
+    :func:`merge_suite_results`.
     """
+    policy = resolve_supervision(policy, on_failure)
     names = list(benchmark_names)
     if distill:
         # Pre-distill every benchmark's event stream in the parent, *before*
@@ -337,17 +996,42 @@ def run_suite_parallel(
     tasks = suite_tasks(
         names, modes, scale, num_accesses, seed, config, options, distill, vector
     )
-    results = parallel_map(_run_suite_task, tasks, jobs=jobs)
+    results = parallel_map(
+        _run_suite_task, tasks, jobs=jobs, policy=policy, manifest=manifest
+    )
     return merge_suite_results(tasks, results, modes)
+
+
+def resolve_supervision(
+    policy: Optional[SupervisionPolicy], on_failure: Optional[str]
+) -> Optional[SupervisionPolicy]:
+    """Combine an explicit policy with an ``on_failure`` override.
+
+    ``on_failure`` alone is enough to request supervision (the harness/CLI
+    surface it as ``--on-failure``); with neither set, supervision still
+    engages implicitly when a fault plan is active (see
+    :func:`_effective_policy`), and otherwise execution takes the plain
+    pool paths.
+    """
+    if on_failure is None:
+        return policy
+    import dataclasses
+
+    base = policy if policy is not None else _effective_policy(None)
+    if base is None:
+        base = SupervisionPolicy()
+    return dataclasses.replace(base, on_failure=on_failure)
 
 
 __all__ = [
     "SuiteResults",
     "SuiteTask",
+    "SupervisedExecutor",
     "merge_suite_results",
     "parallel_map",
     "pipelined_map",
     "resolve_jobs",
+    "resolve_supervision",
     "run_suite_parallel",
     "suite_tasks",
 ]

@@ -39,8 +39,9 @@ separately, precisely because it breaks this identity.
 
 from __future__ import annotations
 
+import base64
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
 from repro.sim.configs import (
@@ -57,13 +58,15 @@ from repro.sim.engine import (
     SimulationEngine,
     ordered_modes,
 )
-from repro.sim.parallel import parallel_map, pipelined_map
+from repro.sim.faults import FailureManifest, SupervisionPolicy, TaskFailure
+from repro.sim.parallel import parallel_map, pipelined_map, resolve_supervision
 from repro.sim.results import (
     LatencyBreakdown,
     SimulationResult,
     SuiteResults,
     TrafficBreakdown,
 )
+from repro.sim.store import ResultStore, content_key, default_store
 from repro.workloads.base import Trace, calibrated_instruction_count
 
 #: Declared accuracy contract of the warm-up path: the merged execution time
@@ -517,6 +520,126 @@ def merge_warm_shards(
 
 
 # ---------------------------------------------------------------------------
+# Checkpoint persistence and resume
+# ---------------------------------------------------------------------------
+
+
+def checkpoint_key(task: Sequence) -> str:
+    """Content key of the checkpoint produced by completing this shard task.
+
+    The key carries the *full* identity of the prefix the checkpoint
+    represents -- benchmark, resolved mode parameters, scale, run length,
+    seed, config/options, the window's ``stop`` -- plus the execution
+    strategy that produced it.  Strategy matters here even though it never
+    enters a *result* key: a vectorized checkpoint leaves component caches
+    untouched and must not seed a scalar replay (and vice versa), and a
+    streamed chain's checkpoints are keyed to their slice window.  The code
+    fingerprint rides in through :func:`content_key` as always, so a source
+    edit strands stale checkpoints exactly like every other entry.
+    """
+    name, params, scale, num_accesses, seed, config, options = task[:7]
+    stop = task[8]
+    if len(task) == 12:
+        strategy: Dict[str, Any] = {
+            "path": "captured",
+            "warmup": task[9],
+            "distill": task[10],
+            "vector": task[11],
+        }
+    else:
+        strategy = {"path": "streamed", "window": task[9]}
+    return content_key(
+        "checkpoint",
+        benchmark=name,
+        mode=params,
+        scale=scale,
+        num_accesses=num_accesses,
+        seed=seed,
+        config=config,
+        options=options,
+        stop=stop,
+        strategy=strategy,
+    )
+
+
+def _encode_checkpoint(carry: bytes) -> Dict[str, str]:
+    return {"state": base64.b64encode(carry).decode("ascii")}
+
+
+def _decode_checkpoint(payload: Mapping) -> bytes:
+    return base64.b64decode(payload["state"])
+
+
+class _CheckpointJournal:
+    """Parent-side persistence of in-flight chain checkpoints.
+
+    Wired into :func:`~repro.sim.parallel.pipelined_map` through its
+    ``on_carry`` hook: every intermediate carry (a serialized
+    :class:`EngineState`) is written to the persistent store under its
+    :func:`checkpoint_key`, keeping only the latest checkpoint per
+    chain, and a chain's completion spends its checkpoint (invalidated --
+    a finished run leaves no ``checkpoint-*`` residue).  :meth:`restore`
+    is the other half: probe each chain's shard boundaries from the end
+    backwards, trim the chain to its unfinished suffix, and seed the first
+    remaining step with the restored carry.  A resumed chain replays the
+    identical checkpoint sequence an uninterrupted run would, so the final
+    results are bit-identical and share the run's normal store keys.
+
+    A chain abandoned by degrade-mode quarantine keeps its last checkpoint
+    on purpose: the next attempt resumes from the last good shard instead
+    of replaying the prefix.
+    """
+
+    def __init__(self, chains: Sequence[Sequence], store: Optional[ResultStore] = None):
+        self._store = store if store is not None else default_store()
+        self._active: List[List] = [list(chain) for chain in chains]
+        self._last: List[Optional[str]] = [None] * len(self._active)
+
+    def restore(self) -> Tuple[List[List], List[Optional[bytes]]]:
+        """Trim each chain to its unfinished suffix.
+
+        Returns ``(chains, initials)`` ready for ``pipelined_map``: a chain
+        with a stored checkpoint at shard k is trimmed to its tasks after k
+        and starts from the restored carry; a chain with no checkpoint is
+        returned whole with a ``None`` initial (the cold start).  Probing
+        runs from the last intermediate shard backwards, so the freshest
+        surviving checkpoint wins.
+        """
+        initials: List[Optional[bytes]] = []
+        for chain_index, chain in enumerate(self._active):
+            carry: Optional[bytes] = None
+            for step in range(len(chain) - 2, -1, -1):
+                key = checkpoint_key(chain[step])
+                restored = self._store.get(key, decoder=_decode_checkpoint, promote=False)
+                if restored is not None:
+                    self._active[chain_index] = chain[step + 1 :]
+                    self._last[chain_index] = key
+                    carry = restored
+                    break
+            initials.append(carry)
+        return self._active, initials
+
+    def on_carry(self, chain_index: int, step_index: int, carry: Any) -> None:
+        """Persist an intermediate checkpoint; spend it on chain completion."""
+        chain = self._active[chain_index]
+        previous = self._last[chain_index]
+        if step_index + 1 >= len(chain):
+            # Final step: ``carry`` is the chain's result, not a checkpoint,
+            # and the run it would have resumed is now complete.
+            if previous is not None:
+                self._store.invalidate(previous)
+                self._last[chain_index] = None
+            return
+        if not isinstance(carry, (bytes, bytearray)):
+            return
+        key = checkpoint_key(chain[step_index])
+        self._store.put(key, bytes(carry), encoder=_encode_checkpoint, keep_in_memory=False)
+        if previous is not None and previous != key:
+            self._store.invalidate(previous)
+        self._last[chain_index] = key
+
+
+# ---------------------------------------------------------------------------
 # Single-run and suite-level drivers
 # ---------------------------------------------------------------------------
 
@@ -678,6 +801,10 @@ def run_suite_sharded(
     distill: bool = True,
     vector: bool = True,
     stream: Optional[int] = None,
+    policy: Optional[SupervisionPolicy] = None,
+    manifest: Optional[FailureManifest] = None,
+    on_failure: Optional[str] = None,
+    resume: bool = True,
 ) -> SuiteResults:
     """Run the benchmark suite with every (benchmark, mode) pair sharded.
 
@@ -699,7 +826,21 @@ def run_suite_sharded(
     ever materialised, in the parent or in any worker.  Exact path only,
     and bit-identical to it, so streamed runs share the captured runs'
     persistent store entries.
+
+    ``resume`` (the default) persists each chain's in-flight checkpoint as
+    a content-keyed ``checkpoint-*`` store entry and, before running,
+    resumes any chain whose previous (killed) run left one behind -- the
+    resumed run replays the identical checkpoint sequence, so it is
+    bit-identical to an uninterrupted run and a completed run spends its
+    checkpoints (no residue).  ``policy``/``manifest``/``on_failure``
+    select supervised execution (see
+    :func:`~repro.sim.parallel.parallel_map`); under
+    ``on_failure="degrade"`` a quarantined step abandons only its own
+    (benchmark, mode) chain, every other chain completes, and the merged
+    suite simply omits the quarantined cells (dropping a benchmark whose
+    NoProtect baseline was lost).
     """
+    policy = resolve_supervision(policy, on_failure)
     names = list(benchmark_names)
     if stream is not None:
         from repro.sim.distill import stream_event_slices
@@ -732,7 +873,20 @@ def run_suite_sharded(
             )
             for name, label in pairs
         ]
-        finals = pipelined_map(run_stream_shard_step, stream_chains, jobs=jobs)
+        journal = _CheckpointJournal(stream_chains) if resume else None
+        if journal is not None:
+            stream_chains, initials = journal.restore()
+        else:
+            initials = None
+        finals = pipelined_map(
+            run_stream_shard_step,
+            stream_chains,
+            jobs=jobs,
+            policy=policy,
+            manifest=manifest,
+            initials=initials,
+            on_carry=journal.on_carry if journal is not None else None,
+        )
         return _stitch_suite(pairs, finals, modes)
     if distill and spec.exact:
         # Pre-distill in the parent so forked workers inherit the streams
@@ -769,15 +923,35 @@ def run_suite_sharded(
     ]
 
     if spec.exact:
-        finals = pipelined_map(run_shard_step, chains, jobs=jobs)
+        journal = _CheckpointJournal(chains) if resume else None
+        if journal is not None:
+            chains, initials = journal.restore()
+        else:
+            initials = None
+        finals = pipelined_map(
+            run_shard_step,
+            chains,
+            jobs=jobs,
+            policy=policy,
+            manifest=manifest,
+            initials=initials,
+            on_carry=journal.on_carry if journal is not None else None,
+        )
     else:
         flat = [task for chain in chains for task in chain]
-        outcomes = parallel_map(run_warm_shard, flat, jobs=jobs)
+        outcomes = parallel_map(run_warm_shard, flat, jobs=jobs, policy=policy, manifest=manifest)
         finals = []
         cursor = 0
         for (name, label), chain in zip(pairs, chains):
             shards = outcomes[cursor : cursor + len(chain)]
             cursor += len(chain)
+            # Degrade mode: one quarantined shard makes the pair's merged
+            # counters meaningless, so the whole (benchmark, mode) cell is
+            # dropped -- partial results are explicit, never approximate.
+            failed = next((shard for shard in shards if isinstance(shard, TaskFailure)), None)
+            if failed is not None:
+                finals.append(failed)
+                continue
             finals.append(
                 merge_warm_shards(
                     name,
@@ -795,17 +969,27 @@ def run_suite_sharded(
 
 def _stitch_suite(
     pairs: Sequence[Tuple[str, str]],
-    finals: Sequence[SimulationResult],
+    finals: Sequence[Any],
     modes: Sequence[ModeLike],
 ) -> SuiteResults:
-    """Nest per-pair results into the suite shape and stitch baselines in."""
+    """Nest per-pair results into the suite shape and stitch baselines in.
+
+    Degrade-mode :class:`TaskFailure` sentinels are skipped, and a benchmark
+    whose NoProtect baseline was quarantined is dropped entirely (its
+    slowdowns would be unnormalisable) -- the same partial-results contract
+    as :func:`repro.sim.parallel.merge_suite_results`.
+    """
     complete: SuiteResults = {}
     for (name, label), result in zip(pairs, finals):
+        if result is None or isinstance(result, TaskFailure):
+            continue
         complete.setdefault(name, {})[label] = result
 
     requested = {mode_label(mode) for mode in modes}
     suite: SuiteResults = {}
     for name, per_mode in complete.items():
+        if BASELINE_MODE not in per_mode:
+            continue
         baseline = per_mode[BASELINE_MODE].execution_time_ns
         for result in per_mode.values():
             result.baseline_time_ns = baseline
@@ -821,6 +1005,7 @@ __all__ = [
     "ShardSpec",
     "ShardTask",
     "StreamShardTask",
+    "checkpoint_key",
     "merge_warm_shards",
     "run_shard_step",
     "run_sharded",

@@ -51,6 +51,7 @@ import os
 import sqlite3
 import tempfile
 import threading
+import warnings
 from functools import lru_cache
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
@@ -82,6 +83,59 @@ INLINE_LIMIT = 32 * 1024
 
 #: How long a writer waits for a competing writer's transaction (ms).
 _BUSY_TIMEOUT_MS = 30_000
+
+#: Environment override for the busy timeout -- tests use a tiny value to
+#: exercise the contention paths without waiting 30 s per probe.
+BUSY_TIMEOUT_ENV = "REPRO_BUSY_TIMEOUT_MS"
+
+#: File (inside the store root) naming the most recent writer process, so a
+#: :class:`StoreBusyError` can point at who is holding the lock.  Purely
+#: diagnostic: last-writer-wins, never cleaned up, never trusted for
+#: correctness.
+WRITER_PID_FILENAME = "writer.pid"
+
+
+def _busy_timeout_ms() -> int:
+    raw = os.environ.get(BUSY_TIMEOUT_ENV)
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return _BUSY_TIMEOUT_MS
+
+
+def _is_busy_error(exc: BaseException) -> bool:
+    """Whether a sqlite error means "writer lock still held at timeout"."""
+    if not isinstance(exc, sqlite3.OperationalError):
+        return False
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
+
+
+class StoreBusyError(RuntimeError):
+    """A store write gave up waiting for a competing writer's lock.
+
+    Raised (instead of silently degrading to memory-only caching) because a
+    persistently-blocked writer means the cache is not doing its job: the
+    caller should know, and the message names the lock holder's pid file so
+    the stuck process can be found and dealt with.
+    """
+
+    def __init__(self, db_path: Path, pid_file: Path, timeout_ms: int) -> None:
+        holder = "unknown"
+        try:
+            holder = pid_file.read_text().strip() or "unknown"
+        except OSError:
+            pass
+        super().__init__(
+            f"store write to {db_path} timed out after {timeout_ms} ms waiting "
+            f"for the writer lock (last writer recorded in {pid_file}: "
+            f"pid {holder})"
+        )
+        self.db_path = db_path
+        self.pid_file = pid_file
+        self.holder_pid = holder
 
 _SCHEMA = (
     """
@@ -265,6 +319,7 @@ class ResultStore:
         self._lock = threading.Lock()
         self._conn: Optional[sqlite3.Connection] = None
         self._conn_pid: Optional[int] = None
+        self._pid_advertised: Optional[int] = None
 
     # -- paths ---------------------------------------------------------------
 
@@ -277,6 +332,11 @@ class ResultStore:
     def blob_dir(self) -> Path:
         """Directory holding spilled (content-named) payload blobs."""
         return self.root / BLOB_DIR_NAME
+
+    @property
+    def writer_pid_path(self) -> Path:
+        """Diagnostic file naming the most recent writer process."""
+        return self.root / WRITER_PID_FILENAME
 
     def path_for(self, key: str) -> Path:
         """Where the JSON-era backend kept this entry.
@@ -311,14 +371,15 @@ class ResultStore:
             self._conn_pid = None
         if not create and not self.db_path.exists() and not self._has_legacy_files():
             return None
+        timeout_ms = _busy_timeout_ms()
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             conn = sqlite3.connect(
                 self.db_path,
-                timeout=_BUSY_TIMEOUT_MS / 1000,
+                timeout=timeout_ms / 1000,
                 check_same_thread=False,
             )
-            conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+            conn.execute(f"PRAGMA busy_timeout={timeout_ms}")
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             with conn:
@@ -414,6 +475,23 @@ class ResultStore:
             except OSError:
                 pass
 
+    def _advertise_writer(self) -> None:
+        """Record this process in the writer pid file, once per process.
+
+        Purely diagnostic (see :class:`StoreBusyError`): the file names the
+        most recent process to write this store, so a blocked writer's error
+        message can point at a likely lock holder.  Never read back for
+        correctness, and failures to write it are ignored.
+        """
+        pid = os.getpid()
+        if self._pid_advertised == pid:
+            return
+        try:
+            self.writer_pid_path.write_text(f"{pid}\n")
+        except OSError:
+            pass
+        self._pid_advertised = pid
+
     def _write_row(
         self,
         conn: sqlite3.Connection,
@@ -422,6 +500,7 @@ class ResultStore:
         replace: bool = True,
     ) -> None:
         """One writer transaction: insert/replace a single entry."""
+        self._advertise_writer()
         blob: Optional[str] = None
         inline: Optional[str] = payload_text
         if len(payload_text) > INLINE_LIMIT:
@@ -461,7 +540,18 @@ class ResultStore:
                     "SELECT format, payload, blob FROM entries WHERE key = ?",
                     (key,),
                 ).fetchone()
-            except sqlite3.Error:
+            except sqlite3.Error as exc:
+                if _is_busy_error(exc):
+                    # A read that loses the lock race is an honest miss (the
+                    # caller recomputes), but a *silent* one hides that the
+                    # store is thrashing -- say so once per occurrence.
+                    warnings.warn(
+                        f"store read of {key!r} timed out waiting for the "
+                        f"writer lock on {self.db_path}; treating as a cache "
+                        "miss",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
                 return _MISS
         if row is None:
             return _MISS
@@ -553,10 +643,40 @@ class ResultStore:
                 return
             try:
                 self._write_row(conn, key, payload_text)
-            except (sqlite3.Error, OSError):
-                pass
+            except (sqlite3.Error, OSError) as exc:
+                if _is_busy_error(exc):
+                    # An exhausted busy timeout is not an I/O hiccup: some
+                    # other process is sitting on the writer lock, every
+                    # subsequent write will stall the same way, and silently
+                    # dropping to memory-only caching would hide it.  Name
+                    # the likely holder instead.
+                    raise StoreBusyError(
+                        self.db_path, self.writer_pid_path, _busy_timeout_ms()
+                    ) from exc
 
     # -- maintenance ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close this process's sqlite connection (reopened on next access).
+
+        Interrupt handlers call this so an aborted run does not leave an open
+        handle pinning the WAL; a connection inherited across ``fork``
+        belongs to the parent and is abandoned, not closed (see
+        :meth:`_connection`).  The memory layer is untouched.
+        """
+        with self._lock:
+            conn, pid = self._conn, self._conn_pid
+            self._conn = None
+            self._conn_pid = None
+            if conn is None:
+                return
+            if pid != os.getpid():
+                _ABANDONED_CONNECTIONS.append(conn)
+                return
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
 
     def invalidate(self, key: str) -> None:
         """Drop one entry from both layers."""
@@ -761,15 +881,30 @@ def set_default_store(store: Optional[ResultStore]) -> None:
     _DEFAULT_STORE = store
 
 
+def close_default_connections() -> None:
+    """Close the default store's per-process sqlite connection, if any.
+
+    Called from interrupt cleanup in :mod:`repro.sim.parallel`: a
+    ``KeyboardInterrupt`` mid-run must not leave the WAL pinned by a handle
+    nobody will ever use again.  A no-op when no default store exists.
+    """
+    if _DEFAULT_STORE is not None:
+        _DEFAULT_STORE.close()
+
+
 __all__ = [
+    "BUSY_TIMEOUT_ENV",
     "CACHE_DIR_ENV",
     "CODE_FINGERPRINT_ENV",
     "DEFAULT_CACHE_DIR",
     "FORMAT_VERSION",
     "INLINE_LIMIT",
+    "WRITER_PID_FILENAME",
     "GcResult",
     "ResultStore",
+    "StoreBusyError",
     "StoreEntry",
+    "close_default_connections",
     "code_fingerprint",
     "content_key",
     "default_store",

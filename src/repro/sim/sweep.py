@@ -31,11 +31,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core.config import SystemConfig
 from repro.sim.configs import EVALUATED_MODES, ModeLike, mode_label, mode_parameters
 from repro.sim.engine import EngineOptions
+from repro.sim.faults import FailureManifest, SupervisionPolicy, TaskFailure
 from repro.sim.parallel import (
     SuiteTask,
     _run_suite_task,
     merge_suite_results,
     parallel_map,
+    resolve_supervision,
     suite_tasks,
 )
 from repro.sim.results import SuiteResults, decode_suite, encode_suite, suite_key
@@ -260,6 +262,10 @@ def run_sweep(
     distill: bool = True,
     vector: bool = True,
     stream: Optional[int] = None,
+    policy: Optional[SupervisionPolicy] = None,
+    manifest: Optional[FailureManifest] = None,
+    on_failure: Optional[str] = None,
+    resume: bool = True,
 ) -> SweepResult:
     """Run the full grid, fetching cached points and fanning out the rest.
 
@@ -282,6 +288,9 @@ def run_sweep(
     """
     names = tuple(benchmarks)
     mode_order = tuple(mode_label(mode) for mode in modes)
+    policy = resolve_supervision(policy, on_failure)
+    if policy is not None and manifest is None:
+        manifest = FailureManifest()
     axis_keys = [axis.key for axis in axes]
     duplicates = sorted({key for key in axis_keys if axis_keys.count(key) > 1})
     if duplicates:
@@ -354,11 +363,14 @@ def run_sweep(
                     )
                     if precompute_tier:
                         replaycore.distilled_mac_tier(events, point.config)
-        results = parallel_map(_run_suite_task, tasks, jobs=jobs)
+        results = parallel_map(_run_suite_task, tasks, jobs=jobs, policy=policy, manifest=manifest)
         for i, start, stop in slices:
             suite = merge_suite_results(tasks[start:stop], results[start:stop], mode_order)
             suites[i] = suite
-            if use_cache:
+            degraded = any(isinstance(r, TaskFailure) for r in results[start:stop])
+            if use_cache and not degraded:
+                # A degraded point is missing quarantined cells; caching it
+                # under the full suite key would poison later clean runs.
                 store.put(keys[i], suite, encoder=encode_suite)
 
     # Sharded points pipeline their shard chains over their own pool; their
@@ -377,6 +389,7 @@ def run_sweep(
                 suites[i] = cached
                 served[i] = True
                 continue
+        quarantined_before = manifest.quarantined if manifest is not None else 0
         suite = run_suite_sharded(
             names,
             ShardSpec(shard_size=point.shard_size or point.num_accesses),
@@ -390,9 +403,13 @@ def run_sweep(
             distill=distill,
             vector=vector,
             stream=stream,
+            policy=policy,
+            manifest=manifest,
+            resume=resume,
         )
         suites[i] = suite
-        if use_cache:
+        degraded = manifest is not None and manifest.quarantined > quarantined_before
+        if use_cache and not degraded:
             store.put(keys[i], suite, encoder=encode_suite)
 
     return SweepResult(

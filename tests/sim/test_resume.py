@@ -1,0 +1,217 @@
+"""Checkpoint-resume: an interrupted sharded run continues bit-identically.
+
+The exact sharded path hands a serialized engine state from shard to shard;
+PR 10 persists that carry as a content-keyed ``checkpoint-*`` store entry as
+each shard completes.  These tests pin the whole contract: a completed run
+leaves no checkpoint residue, an aborted run leaves resumable checkpoints, a
+resumed run produces byte-for-byte the suite an uninterrupted run would, and
+a fault-riddled chaos run is indistinguishable from a clean serial one.
+"""
+
+import pytest
+
+from repro.experiments.harness import run_benchmarks
+from repro.sim import store as store_module
+from repro.sim.configs import registered_modes
+from repro.sim.engine import run_suite
+from repro.sim.faults import (
+    FAULT_PLAN_ENV,
+    FailureManifest,
+    FaultPlan,
+    FaultSpec,
+    SupervisionPolicy,
+    TaskFailedError,
+)
+from repro.sim.shard import ShardSpec, run_suite_sharded
+
+BENCH = ("memcached",)
+ACCESSES = 4000
+SHARD = 800  # 5 shards per (benchmark, mode) chain
+FAST = SupervisionPolicy(deadline=30.0, retries=3, backoff=0.01)
+
+
+def _flatten(suite):
+    """Every measured field of every result, in iteration order."""
+    out = []
+    for bench, per_mode in suite.items():
+        for mode, r in per_mode.items():
+            out.append(
+                (
+                    bench,
+                    mode,
+                    r.workload,
+                    r.instructions,
+                    r.accesses,
+                    r.llc_misses,
+                    r.writebacks,
+                    r.execution_time_ns,
+                    r.baseline_time_ns,
+                    r.traffic.to_dict(),
+                    r.latency.to_dict(),
+                    r.stealth_cache_hit_rate,
+                    r.mac_cache_hit_rate,
+                    r.trip_format_counts,
+                    r.toleo_usage_bytes,
+                    r.toleo_peak_bytes,
+                    r.toleo_usage_timeline,
+                )
+            )
+    return out
+
+
+@pytest.fixture
+def fresh_store(tmp_path):
+    """An isolated default store, so checkpoint assertions see only this
+    test's entries (forked workers inherit the object)."""
+    previous = store_module._DEFAULT_STORE
+    store = store_module.ResultStore(root=tmp_path / "cache")
+    store_module.set_default_store(store)
+    yield store
+    store_module.set_default_store(previous)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_plan(monkeypatch):
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+
+
+def _checkpoints(store):
+    return store.query(kind="checkpoint")
+
+
+def _terminal_crash(task_index, retries):
+    """Crash ``task_index`` on every attempt its retry budget allows."""
+    return FaultPlan(
+        faults=tuple(
+            FaultSpec(task_index=task_index, kind="crash", attempt=a)
+            for a in range(1, retries + 2)
+        )
+    )
+
+
+def _sharded(**overrides):
+    kwargs = dict(
+        benchmarks=BENCH,
+        spec=ShardSpec(shard_size=SHARD),
+        num_accesses=ACCESSES,
+        jobs=2,
+    )
+    kwargs.update(overrides)
+    benchmarks = kwargs.pop("benchmarks")
+    spec = kwargs.pop("spec")
+    return run_suite_sharded(benchmarks, spec, **kwargs)
+
+
+class TestCheckpointLifecycle:
+    def test_completed_run_leaves_no_checkpoints(self, fresh_store):
+        suite = _sharded()
+        serial = run_suite(BENCH, num_accesses=ACCESSES)
+        assert _flatten(suite) == _flatten(serial)
+        assert _checkpoints(fresh_store) == []
+
+    def test_aborted_run_resumes_bit_identically(self, fresh_store, monkeypatch):
+        # Kill the run mid-flight: task index 10 (of 20) crashes terminally
+        # under a zero-retry policy, so earlier shards' checkpoints survive.
+        policy = SupervisionPolicy(deadline=30.0, retries=0, backoff=0.01)
+        monkeypatch.setenv(FAULT_PLAN_ENV, _terminal_crash(10, 0).to_json())
+        with pytest.raises(TaskFailedError):
+            _sharded(policy=policy)
+        persisted = _checkpoints(fresh_store)
+        assert persisted, "aborted run should leave resumable checkpoints"
+
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        resumed = _sharded()
+        assert _flatten(resumed) == _flatten(run_suite(BENCH, num_accesses=ACCESSES))
+        assert _checkpoints(fresh_store) == []
+
+    def test_no_resume_ignores_stale_checkpoints(self, fresh_store, monkeypatch):
+        policy = SupervisionPolicy(deadline=30.0, retries=0, backoff=0.01)
+        monkeypatch.setenv(FAULT_PLAN_ENV, _terminal_crash(10, 0).to_json())
+        with pytest.raises(TaskFailedError):
+            _sharded(policy=policy)
+        assert _checkpoints(fresh_store)
+
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        cold = _sharded(resume=False)
+        assert _flatten(cold) == _flatten(run_suite(BENCH, num_accesses=ACCESSES))
+
+    def test_quarantined_chain_keeps_checkpoint_for_next_attempt(
+        self, fresh_store, monkeypatch
+    ):
+        # Degrade mode: the dead chain's last good shard stays persisted, so
+        # the healing rerun resumes it instead of replaying the prefix.
+        policy = SupervisionPolicy(
+            deadline=30.0, retries=0, backoff=0.01, on_failure="degrade"
+        )
+        monkeypatch.setenv(FAULT_PLAN_ENV, _terminal_crash(10, 0).to_json())
+        manifest = FailureManifest()
+        _sharded(policy=policy, manifest=manifest)
+        assert manifest.quarantined == 1
+        assert _checkpoints(fresh_store), "quarantined chain lost its checkpoint"
+
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        healed = _sharded()
+        assert _flatten(healed) == _flatten(run_suite(BENCH, num_accesses=ACCESSES))
+        assert _checkpoints(fresh_store) == []
+
+
+class TestChaosDifferential:
+    """Fault-injected runs must be bit-identical to clean serial runs."""
+
+    def test_captured_path_survives_generated_plan(self, fresh_store, monkeypatch):
+        plan = FaultPlan.generate(
+            seed=3, num_tasks=20, crashes=2, corrupts=1, errors=1
+        )
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        manifest = FailureManifest()
+        chaotic = _sharded(policy=FAST, manifest=manifest)
+        assert manifest.retries >= 1 and manifest.quarantined == 0
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        assert _flatten(chaotic) == _flatten(run_suite(BENCH, num_accesses=ACCESSES))
+        assert _checkpoints(fresh_store) == []
+
+    def test_every_registered_mode_survives_faults(self, fresh_store, monkeypatch):
+        # The acceptance gate is universal: no mode's counters may shift
+        # under injected faults, including registry-only hybrids.
+        modes = registered_modes()
+        plan = FaultPlan.generate(seed=5, num_tasks=12, crashes=2, corrupts=1, errors=1)
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        chaotic = _sharded(
+            spec=ShardSpec(shard_size=1000), num_accesses=2000, modes=modes, policy=FAST
+        )
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        serial = run_suite(BENCH, modes=modes, num_accesses=2000)
+        assert _flatten(chaotic) == _flatten(serial)
+        assert _checkpoints(fresh_store) == []
+
+    def test_streamed_path_survives_generated_plan(self, fresh_store, monkeypatch):
+        plan = FaultPlan.generate(seed=11, num_tasks=20, crashes=1, corrupts=1)
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        chaotic = _sharded(policy=FAST, stream=SHARD)
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        assert _flatten(chaotic) == _flatten(run_suite(BENCH, num_accesses=ACCESSES))
+        assert _checkpoints(fresh_store) == []
+
+
+class TestDegradedSuitesAreNotCached:
+    def test_harness_skips_suite_cache_for_degraded_run(
+        self, fresh_store, monkeypatch
+    ):
+        # Task 0 is the first benchmark's NoProtect run; killing it drops the
+        # whole benchmark in degrade mode.  The partial suite must not be
+        # stored under the full suite key, or later clean runs would be
+        # served the hole forever.
+        policy = SupervisionPolicy(
+            deadline=30.0, retries=0, backoff=0.01, on_failure="degrade"
+        )
+        monkeypatch.setenv(FAULT_PLAN_ENV, _terminal_crash(0, 0).to_json())
+        degraded = run_benchmarks(
+            BENCH, num_accesses=ACCESSES, jobs=2, policy=policy, store=fresh_store
+        )
+        assert degraded == {}
+
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        clean = run_benchmarks(
+            BENCH, num_accesses=ACCESSES, jobs=2, store=fresh_store
+        )
+        assert _flatten(clean) == _flatten(run_suite(BENCH, num_accesses=ACCESSES))

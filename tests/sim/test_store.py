@@ -2,6 +2,7 @@
 
 import dataclasses
 import json
+import os
 import sqlite3
 
 import pytest
@@ -11,7 +12,14 @@ from repro.experiments.harness import run_benchmarks, suite_key
 from repro.sim.configs import EVALUATED_MODES, ProtectionMode
 from repro.sim.engine import EngineOptions, run_suite
 from repro.sim.results import SimulationResult
-from repro.sim.store import FORMAT_VERSION, INLINE_LIMIT, ResultStore, content_key
+from repro.sim.store import (
+    BUSY_TIMEOUT_ENV,
+    FORMAT_VERSION,
+    INLINE_LIMIT,
+    ResultStore,
+    StoreBusyError,
+    content_key,
+)
 
 
 def corrupt_entry(store, key, **columns):
@@ -438,3 +446,54 @@ class TestSuitePersistence:
             ("bsw",), EVALUATED_MODES, 0.002, 4000, 1234, None, EngineOptions()
         )
         assert len({k_none, k_cfg, k_opts}) == 3
+
+
+class _BusyConnection:
+    """Stands in for a connection whose every query loses the lock race."""
+
+    def execute(self, *args, **kwargs):
+        raise sqlite3.OperationalError("database is locked")
+
+
+class TestBusyHandling:
+    def test_exhausted_write_timeout_names_the_lock_holder(
+        self, tmp_path, monkeypatch
+    ):
+        # WAL readers never block, but writers serialise on one lock; hold it
+        # from a second connection and the store's write must give up fast
+        # and say who it was waiting on -- not surface a raw sqlite error or
+        # silently stop persisting.
+        monkeypatch.setenv(BUSY_TIMEOUT_ENV, "50")
+        store = ResultStore(tmp_path)
+        store.put(content_key("busy", n=1), {"v": 1}, encoder=lambda v: v)
+
+        blocker = sqlite3.connect(store.db_path)
+        blocker.execute("BEGIN IMMEDIATE")
+        try:
+            with pytest.raises(StoreBusyError) as err:
+                store.put(content_key("busy", n=2), {"v": 2}, encoder=lambda v: v)
+        finally:
+            blocker.rollback()
+            blocker.close()
+        assert err.value.holder_pid == str(os.getpid())
+        assert err.value.pid_file.name == "writer.pid"
+        assert "writer lock" in str(err.value)
+
+    def test_busy_read_warns_and_serves_a_miss(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        key = content_key("busy", n=3)
+        store.put(key, {"v": 3}, encoder=lambda v: v)
+        store.clear_memory()
+        monkeypatch.setattr(
+            store, "_connection", lambda create=False: _BusyConnection()
+        )
+        with pytest.warns(RuntimeWarning, match="cache miss"):
+            assert store.get(key, decoder=lambda p: p) is None
+
+    def test_close_reopens_on_next_access(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = content_key("busy", n=4)
+        store.put(key, {"v": 4}, encoder=lambda v: v)
+        store.close()
+        store.clear_memory()
+        assert store.get(key, decoder=lambda p: p) == {"v": 4}
